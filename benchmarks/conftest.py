@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one artifact of the paper (a table, a
+figure or a theorem's separation) and follows the same pattern:
+
+* measure the quantity the paper reports (oracle queries, gate counts,
+  success rates) over a sweep of instance sizes;
+* print a "paper vs. measured" table through
+  :func:`repro.analysis.report.format_table` (visible with ``pytest -s``);
+* time a representative instance through the ``benchmark`` fixture so
+  ``pytest benchmarks/ --benchmark-only`` also yields wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def bench_rng() -> random.Random:
+    """Deterministic randomness for benchmark workloads."""
+    return random.Random(987654321)
+
+
+def emit(title: str, text: str) -> None:
+    """Print a report block (shown with ``pytest -s``)."""
+    print()
+    print(f"== {title} ==")
+    print(text)

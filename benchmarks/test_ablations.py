@@ -1,0 +1,153 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+Three knobs are swept:
+
+* the swap-test repetition count ``k`` of Algorithm 1 (paper:
+  ``k = ceil(log2 1/eps)``) — measuring the empirical failure rate above and
+  below the bound;
+* the probe-sequence length ``k`` of the randomised I-P matcher (paper
+  Eq. 1: ``k >= log2(n(n-1)/eps)``) — measuring collision/failure rates;
+* the transformation-based synthesis direction (basic vs. bidirectional) —
+  measuring gate counts of the circuits used as matching workloads.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.circuits.random import random_circuit, random_permutation
+from repro.core import EquivalenceType, make_instance, verify_match
+from repro.core.matchers._sequences import match_output_sequences
+from repro.core.matchers.n_i import as_quantum_oracle
+from repro.core.problem import MatchingResult
+from repro.exceptions import MatchingError, PromiseViolationError
+from repro.oracles import CircuitOracle
+from repro.quantum.statevector import PLUS, ZERO, product_state
+from repro.quantum.swap_test import SwapTest
+from repro.synthesis import synthesize_basic, synthesize_bidirectional
+
+
+def _algorithm1_with_fixed_k(c1, c2, repetitions, rng):
+    """Algorithm 1 with an explicit repetition count (ablation knob)."""
+    oracle1 = as_quantum_oracle(c1)
+    oracle2 = as_quantum_oracle(c2)
+    tester = SwapTest(rng)
+    num_lines = oracle1.num_qubits
+    nu = [False] * num_lines
+    for line in range(num_lines):
+        labels = [PLUS] * num_lines
+        labels[line] = ZERO
+        probe = product_state(labels)
+        for _ in range(repetitions):
+            out1 = oracle1.query_state(probe)
+            out2 = oracle2.query_state(probe)
+            if tester.sample(out1, out2) == 1:
+                nu[line] = True
+                break
+    return tuple(nu)
+
+
+def test_ablation_swap_test_repetitions(benchmark, bench_rng):
+    """Failure rate of Algorithm 1 as the repetition count k is swept."""
+    num_lines = 5
+    trials = 30
+    rows = []
+    for repetitions in (1, 2, 4, 7, 10):
+        failures = 0
+        for _ in range(trials):
+            base = random_circuit(num_lines, 3 * num_lines, bench_rng)
+            c1, c2, truth = make_instance(base, EquivalenceType.N_I, bench_rng)
+            recovered = _algorithm1_with_fixed_k(c1, c2, repetitions, bench_rng)
+            failures += recovered != truth.nu_x
+        bound = num_lines * 0.5**repetitions  # union bound over the n lines
+        rows.append(
+            [repetitions, f"{failures}/{trials}", f"{min(bound, 1.0):.3f}"]
+        )
+    emit(
+        "Ablation: swap-test repetitions k in Algorithm 1 (n = 5)",
+        format_table(
+            ["k", "measured failure rate", "union-bound failure probability"], rows
+        ),
+    )
+
+    base = random_circuit(num_lines, 15, random.Random(0))
+    c1, c2, _ = make_instance(base, EquivalenceType.N_I, random.Random(0))
+    benchmark.pedantic(
+        lambda: _algorithm1_with_fixed_k(c1, c2, 10, random.Random(0)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_ablation_sequence_length(benchmark, bench_rng):
+    """Collision rate of the randomised I-P matcher as epsilon (hence k) varies."""
+    num_lines = 8
+    trials = 30
+    rows = []
+    for epsilon in (0.5, 0.1, 1e-2, 1e-4):
+        failures = 0
+        queries = 0
+        for _ in range(trials):
+            base = random_circuit(num_lines, 3 * num_lines, bench_rng)
+            c1, c2, _ = make_instance(base, EquivalenceType.I_P, bench_rng)
+            o1, o2 = CircuitOracle(c1), CircuitOracle(c2)
+            try:
+                pi, nu = match_output_sequences(o1, o2, epsilon, bench_rng, False)
+                result = MatchingResult(EquivalenceType.I_P, pi_y=pi)
+                ok = verify_match(c1, c2, EquivalenceType.I_P, result)
+            except (MatchingError, PromiseViolationError):
+                ok = False
+            failures += not ok
+            queries += o1.total_queries + o2.total_queries
+        rows.append(
+            [epsilon, f"{failures}/{trials}", f"{queries / trials:.1f}"]
+        )
+    emit(
+        "Ablation: randomised I-P matcher sequence length (n = 8)",
+        format_table(["epsilon", "measured failure rate", "mean queries"], rows),
+    )
+
+    base = random_circuit(num_lines, 20, random.Random(1))
+    c1, c2, _ = make_instance(base, EquivalenceType.I_P, random.Random(1))
+    benchmark.pedantic(
+        lambda: match_output_sequences(
+            CircuitOracle(c1), CircuitOracle(c2), 1e-4, random.Random(1), False
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_ablation_synthesis_direction(benchmark, bench_rng):
+    """Gate counts of basic vs. bidirectional transformation-based synthesis."""
+    trials = 15
+    rows = []
+    for bits in (3, 4, 5):
+        total_basic = 0
+        total_bidirectional = 0
+        for _ in range(trials):
+            permutation = random_permutation(bits, bench_rng)
+            total_basic += synthesize_basic(permutation).num_gates
+            total_bidirectional += synthesize_bidirectional(permutation).num_gates
+        rows.append(
+            [
+                bits,
+                f"{total_basic / trials:.1f}",
+                f"{total_bidirectional / trials:.1f}",
+                f"{100 * (1 - total_bidirectional / total_basic):.1f}%",
+            ]
+        )
+    emit(
+        "Ablation: transformation-based synthesis direction",
+        format_table(
+            ["bits", "basic gates (mean)", "bidirectional gates (mean)", "saving"],
+            rows,
+        ),
+    )
+
+    permutation = random_permutation(5, random.Random(2))
+    benchmark.pedantic(
+        lambda: synthesize_bidirectional(permutation), rounds=3, iterations=1
+    )

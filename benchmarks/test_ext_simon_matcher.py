@@ -1,0 +1,74 @@
+"""EXT — the Simon's-algorithm N-I matcher (the paper's footnote 2).
+
+The paper states that, besides the swap-test Algorithm 1, further quantum
+matching algorithms inspired by Simon's algorithm exist but were omitted for
+space.  This bench compares the implemented Simon-based matcher against
+Algorithm 1 across a sweep of bit widths: both recover the same negation
+function, both grow linearly in n, and the Simon variant needs no per-line
+repetition (its cost is ~2(n + 1) informative rounds instead of
+2 n ceil(log2 1/eps) swap-test executions).
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.analysis.scaling import best_fit
+from repro.circuits.random import random_circuit
+from repro.core import EquivalenceType, make_instance
+from repro.core.matchers import match_n_i_quantum, match_n_i_simon
+from repro.oracles import QueryStatistics
+
+SIZES = (3, 4, 5, 6, 7, 8)
+RUNS = 5
+EPSILON = 1e-3
+
+
+def test_simon_vs_swap_test_n_i(benchmark, bench_rng):
+    rows = []
+    simon_means = []
+    for num_lines in SIZES:
+        simon_stats = QueryStatistics(f"simon@{num_lines}")
+        swap_stats = QueryStatistics(f"swap@{num_lines}")
+        for _ in range(RUNS):
+            base = random_circuit(num_lines, 4 * num_lines, bench_rng)
+            c1, c2, truth = make_instance(base, EquivalenceType.N_I, bench_rng)
+            simon_result = match_n_i_simon(c1, c2, rng=bench_rng)
+            swap_result = match_n_i_quantum(c1, c2, epsilon=EPSILON, rng=bench_rng)
+            assert simon_result.nu_x == truth.nu_x
+            assert swap_result.nu_x == truth.nu_x
+            simon_stats.record(simon_result.quantum_queries)
+            swap_stats.record(swap_result.quantum_queries)
+        simon_means.append(simon_stats.mean)
+        rows.append(
+            [
+                num_lines,
+                f"{simon_stats.mean:.1f}",
+                f"{swap_stats.mean:.1f}",
+                f"{2 * (num_lines + 2)}",
+            ]
+        )
+
+    fit = best_fit(list(SIZES), simon_means, ["constant", "log n", "n", "n log n", "n^2"])
+    emit(
+        "Extension: Simon-based N-I matcher vs Algorithm 1 (swap test)",
+        format_table(
+            [
+                "n",
+                "Simon quantum queries (mean)",
+                "Algorithm 1 quantum queries (mean)",
+                "ideal Simon rounds ~2(n+2)",
+            ],
+            rows,
+        )
+        + f"\nSimon growth fit: {fit.model} (expected: n)",
+    )
+    assert fit.model in ("n", "n log n", "log n")
+
+    base = random_circuit(8, 32, random.Random(3))
+    c1, c2, _ = make_instance(base, EquivalenceType.N_I, random.Random(3))
+    benchmark.pedantic(
+        lambda: match_n_i_simon(c1, c2, rng=random.Random(3)), rounds=3, iterations=1
+    )

@@ -1,0 +1,87 @@
+"""FIG3 — reproduce Figure 3: swap-test outcome statistics.
+
+The swap test measures 0 with probability 1/2 + |<psi1|psi2>|^2 / 2.  The
+bench samples the two extreme regimes the matching algorithms rely on
+(identical states -> always 0; orthogonal states -> 0 with probability 1/2),
+cross-validates the analytic Born-rule path against the explicit Fig. 3
+circuit simulation, and times both paths.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.quantum.statevector import MINUS, ONE, PLUS, ZERO, product_state
+from repro.quantum.swap_test import (
+    SwapTest,
+    swap_test_probability,
+    swap_test_probability_via_circuit,
+)
+
+SAMPLES = 2000
+
+
+def test_fig3_outcome_distribution(benchmark, bench_rng):
+    num_qubits = 4
+    identical = product_state([PLUS, ZERO, MINUS, PLUS])
+    orthogonal_a = product_state([ZERO] * num_qubits)
+    orthogonal_b = product_state([ONE] + [ZERO] * (num_qubits - 1))
+    partial_a = product_state([PLUS] + [ZERO] * (num_qubits - 1))
+    partial_b = product_state([ZERO] * num_qubits)
+
+    rows = []
+    for label, (state_a, state_b, expected) in {
+        "identical": (identical, identical, 1.0),
+        "orthogonal": (orthogonal_a, orthogonal_b, 0.5),
+        "overlap 1/sqrt(2)": (partial_a, partial_b, 0.75),
+    }.items():
+        tester = SwapTest(rng=bench_rng)
+        outcomes = tester.sample_many(state_a, state_b, SAMPLES)
+        measured = 1.0 - sum(outcomes) / SAMPLES
+        analytic = swap_test_probability(state_a, state_b)
+        circuit_level = swap_test_probability_via_circuit(state_a, state_b)
+        assert analytic == pytest.approx(expected)
+        assert circuit_level == pytest.approx(expected, abs=1e-9)
+        assert measured == pytest.approx(expected, abs=0.05)
+        rows.append(
+            [label, f"{expected:.3f}", f"{analytic:.3f}", f"{circuit_level:.3f}", f"{measured:.3f}"]
+        )
+
+    emit(
+        "Figure 3: swap-test Pr[outcome = 0]",
+        format_table(
+            ["states", "paper", "analytic", "circuit-level sim", "sampled"]
+            , rows,
+        ),
+    )
+
+    benchmark.pedantic(
+        lambda: SwapTest(rng=1).sample_many(identical, partial_a, 200),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_fig3_circuit_level_agreement_sweep(benchmark):
+    """Analytic and circuit-level probabilities agree on a basis-label sweep."""
+    labels = [ZERO, ONE, PLUS, MINUS]
+    mismatches = 0
+    pairs = list(itertools.product(labels, repeat=2))
+
+    def sweep():
+        nonlocal mismatches
+        mismatches = 0
+        for a, b in pairs:
+            state_a = product_state([a, ZERO])
+            state_b = product_state([b, ZERO])
+            analytic = swap_test_probability(state_a, state_b)
+            simulated = swap_test_probability_via_circuit(state_a, state_b)
+            if abs(analytic - simulated) > 1e-9:
+                mismatches += 1
+        return mismatches
+
+    assert benchmark(sweep) == 0

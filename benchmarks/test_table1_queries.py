@@ -1,0 +1,98 @@
+"""TAB1 — reproduce Table 1: query complexity of every tractable equivalence.
+
+For every row of Table 1 the corresponding matcher is run on random promised
+instances over a sweep of bit widths; the measured mean oracle-query count is
+fitted against the growth models of :mod:`repro.analysis.scaling` and printed
+next to the paper's claimed bound.  The ``benchmark`` fixture times one
+representative instance per row.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.analysis.scaling import best_fit
+from repro.circuits.random import random_circuit
+from repro.core import TABLE1_ROWS, match, make_instance
+from repro.oracles import CircuitOracle, QueryStatistics
+
+EPSILON = 1e-3
+RUNS_PER_SIZE = 5
+
+CLASSICAL_SIZES = (4, 6, 8, 10, 12)
+QUANTUM_SIZES = (3, 4, 5, 6, 7)
+
+
+def _run_once(row, equivalence, num_lines, rng):
+    base = random_circuit(num_lines, 4 * num_lines, rng)
+    c1, c2, _ = make_instance(base, equivalence, rng)
+    if row.inverse_available:
+        o1 = CircuitOracle(c1, with_inverse=row.requires_both_inverses)
+        o2 = CircuitOracle(c2, with_inverse=True)
+        result = match(o1, o2, equivalence, rng=rng, epsilon=EPSILON)
+        return result.queries
+    result = match(c1, c2, equivalence, rng=rng, epsilon=EPSILON)
+    return result.queries if row.paradigm == "classical" else result.quantum_queries
+
+
+def _row_id(row):
+    regime = "inv" if row.inverse_available else "noinv"
+    return f"{row.paradigm}-{regime}-" + "+".join(e.label for e in row.equivalences)
+
+
+@pytest.mark.parametrize("row", TABLE1_ROWS, ids=_row_id)
+def test_table1_row(benchmark, row, bench_rng):
+    sizes = CLASSICAL_SIZES if row.paradigm == "classical" else QUANTUM_SIZES
+    table_rows = []
+    fit_sizes: list[int] = []
+    fit_means: list[float] = []
+    for equivalence in row.equivalences:
+        for num_lines in sizes:
+            stats = QueryStatistics(f"{equivalence.label}@{num_lines}")
+            for _ in range(RUNS_PER_SIZE):
+                stats.record(_run_once(row, equivalence, num_lines, bench_rng))
+            table_rows.append(
+                [
+                    equivalence.label,
+                    num_lines,
+                    f"{stats.mean:.1f}",
+                    f"{row.bound(num_lines, EPSILON):.1f}",
+                    row.complexity,
+                ]
+            )
+            fit_sizes.append(num_lines)
+            fit_means.append(stats.mean)
+
+    fit = best_fit(fit_sizes, fit_means)
+    emit(
+        f"Table 1 row: {_row_id(row)}",
+        format_table(
+            ["class", "n", "measured mean queries", "claimed bound g(n)", "paper"],
+            table_rows,
+        )
+        + f"\nbest-fit growth model: {fit.model} "
+        f"(scale {fit.scale:.2f}, rel. error {fit.relative_error:.2f})",
+    )
+
+    # Wall-clock benchmark of one representative instance (largest size).
+    equivalence = row.equivalences[0]
+    num_lines = sizes[-1]
+    seed = random.Random(0)
+    base = random_circuit(num_lines, 4 * num_lines, seed)
+    c1, c2, _ = make_instance(base, equivalence, seed)
+
+    if row.inverse_available:
+        def run():
+            o1 = CircuitOracle(c1, with_inverse=row.requires_both_inverses)
+            o2 = CircuitOracle(c2, with_inverse=True)
+            return match(o1, o2, equivalence, rng=0, epsilon=EPSILON)
+    else:
+        def run():
+            return match(c1, c2, equivalence, rng=0, epsilon=EPSILON)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.equivalence is equivalence

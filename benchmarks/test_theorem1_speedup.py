@@ -1,0 +1,92 @@
+"""TAB1-LB — Theorem 1: the quantum/classical separation for N-I matching.
+
+Without inverse circuits, classical N-I matching needs Omega(2^{n/2}) oracle
+queries (birthday collision search) while Algorithm 1 needs O(n log 1/eps)
+quantum queries.  This bench sweeps the bit width, measures both, fits the
+growth models and prints the separation — the paper's headline "exponential
+quantum speedup" claim.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.analysis.scaling import best_fit
+from repro.baselines.classical_collision import match_n_i_collision
+from repro.circuits.random import random_circuit
+from repro.core import EquivalenceType, make_instance
+from repro.core.matchers import match_n_i_quantum
+from repro.oracles import QueryStatistics
+
+EPSILON = 1e-3
+SIZES = (4, 6, 8, 10, 12, 14, 16)
+RUNS = 5
+
+
+def _instance(num_lines, rng):
+    base = random_circuit(num_lines, 4 * num_lines, rng)
+    return make_instance(base, EquivalenceType.N_I, rng)
+
+
+def test_theorem1_separation(benchmark, bench_rng):
+    rows = []
+    quantum_means: list[float] = []
+    classical_means: list[float] = []
+    for num_lines in SIZES:
+        quantum_stats = QueryStatistics(f"quantum@{num_lines}")
+        classical_stats = QueryStatistics(f"classical@{num_lines}")
+        for _ in range(RUNS):
+            c1, c2, truth = _instance(num_lines, bench_rng)
+            quantum = match_n_i_quantum(c1, c2, epsilon=EPSILON, rng=bench_rng)
+            assert quantum.nu_x == truth.nu_x
+            quantum_stats.record(quantum.quantum_queries)
+            classical = match_n_i_collision(c1, c2, rng=bench_rng)
+            assert classical.nu_x == truth.nu_x
+            classical_stats.record(classical.queries)
+        quantum_means.append(quantum_stats.mean)
+        classical_means.append(classical_stats.mean)
+        rows.append(
+            [
+                num_lines,
+                f"{quantum_stats.mean:.1f}",
+                f"{classical_stats.mean:.1f}",
+                f"{classical_stats.mean / max(quantum_stats.mean, 1):.1f}x",
+            ]
+        )
+
+    quantum_fit = best_fit(list(SIZES), quantum_means, ["constant", "log n", "n", "n log n", "n^2"])
+    classical_fit = best_fit(list(SIZES), classical_means, ["n", "n^2", "2^(n/2)", "2^n"])
+    emit(
+        "Theorem 1: N-I matching without inverses (quantum vs classical)",
+        format_table(
+            ["n", "quantum queries (mean)", "classical queries (mean)", "ratio"],
+            rows,
+        )
+        + f"\nquantum growth fit  : {quantum_fit.model} (paper: O(n log 1/eps))"
+        + f"\nclassical growth fit: {classical_fit.model} (paper: Omega(2^(n/2)))",
+    )
+
+    # The growth laws must match the paper (linear-ish quantum cost,
+    # birthday-exponential classical cost) and the separation must be
+    # visible at the largest size of the sweep.
+    assert quantum_fit.model in ("n", "n log n", "log n")
+    assert classical_fit.model in ("2^(n/2)", "2^n")
+    assert classical_means[-1] > quantum_means[-1]
+
+    c1, c2, _ = _instance(12, random.Random(1))
+    benchmark.pedantic(
+        lambda: match_n_i_quantum(c1, c2, epsilon=EPSILON, rng=1),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_classical_collision_wallclock(benchmark):
+    c1, c2, _ = _instance(10, random.Random(2))
+    benchmark.pedantic(
+        lambda: match_n_i_collision(c1, c2, rng=2), rounds=3, iterations=1
+    )

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The Fig. 1 landscape: domination lattice and complexity classification.
+
+Prints the Hasse diagram of the 16 X-Y equivalence classes (which class
+subsumes which), their hardness classification, and the Table 1 complexity
+rows — the reproduction of Figure 1 and Table 1 as data rather than as a
+drawing.
+
+Run with:  python examples/complexity_landscape.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.core import (
+    EquivalenceType,
+    TABLE1_ROWS,
+    classify,
+    domination_edges,
+)
+
+
+def main() -> None:
+    print("Hasse diagram of the domination relation (Fig. 1):")
+    covers: dict[str, list[str]] = {}
+    for upper, lower in domination_edges(hasse=True):
+        covers.setdefault(upper.label, []).append(lower.label)
+    for label in sorted(covers):
+        print(f"  {label:6s} covers {', '.join(sorted(covers[label]))}")
+    print()
+
+    rows = [
+        [equivalence.label, classify(equivalence).value]
+        for equivalence in EquivalenceType
+    ]
+    print(format_table(["class", "hardness"], rows, title="Complexity classification"))
+    print()
+
+    table1 = [
+        [
+            "yes" + ("(both)" if row.requires_both_inverses else "")
+            if row.inverse_available
+            else "no",
+            " / ".join(e.label for e in row.equivalences),
+            row.paradigm,
+            row.complexity,
+        ]
+        for row in TABLE1_ROWS
+    ]
+    print(
+        format_table(
+            ["inverse available", "equivalences", "paradigm", "complexity"],
+            table1,
+            title="Table 1 (claimed query complexities)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

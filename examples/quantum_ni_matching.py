@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Algorithm 1 in action: quantum N-I matching and the exponential speedup.
+
+Reproduces the headline result of the paper (Section 4.5 / Theorem 1): when
+no inverse circuits are available, finding the input negation of an N-I
+instance classically requires a birthday-style collision search costing
+Omega(2^{n/2}) oracle queries, while the swap-test Algorithm 1 needs only
+O(n log 1/eps) quantum queries.
+
+The script matches the same hidden negation with both approaches across a
+range of bit widths and prints the measured query counts side by side.
+
+Run with:  python examples/quantum_ni_matching.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.report import format_table
+from repro.baselines.classical_collision import match_n_i_collision
+from repro.circuits.random import random_circuit
+from repro.core import EquivalenceType, make_instance
+from repro.core.matchers import match_n_i_quantum
+
+
+def main() -> None:
+    rng = random.Random(7)
+    epsilon = 1e-3
+    rows = []
+    for num_lines in (4, 6, 8, 10):
+        base = random_circuit(num_lines, 4 * num_lines, rng)
+        c1, c2, truth = make_instance(base, EquivalenceType.N_I, rng)
+
+        quantum = match_n_i_quantum(c1, c2, epsilon=epsilon, rng=rng)
+        assert quantum.nu_x == truth.nu_x, "Algorithm 1 recovered a wrong negation"
+
+        classical_queries = []
+        for seed in range(5):
+            result = match_n_i_collision(c1, c2, rng=seed)
+            assert result.nu_x == truth.nu_x
+            classical_queries.append(result.queries)
+        classical_mean = sum(classical_queries) / len(classical_queries)
+
+        rows.append(
+            [
+                num_lines,
+                quantum.quantum_queries,
+                quantum.swap_tests,
+                f"{classical_mean:.1f}",
+                f"{classical_mean / max(quantum.quantum_queries, 1):.1f}x",
+            ]
+        )
+
+    print(
+        format_table(
+            ["n", "quantum queries", "swap tests", "classical queries (mean)", "speedup"],
+            rows,
+            title="N-I matching without inverse circuits (epsilon = 1e-3)",
+        )
+    )
+    print()
+    print("The quantum column grows linearly in n (Table 1: O(n log 1/eps));")
+    print("the classical collision search grows like 2^(n/2) (Theorem 1).")
+
+
+if __name__ == "__main__":
+    main()

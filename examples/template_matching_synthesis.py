@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Template-based synthesis with *functional* matching (the paper's motivation).
+
+Section 1 argues that template-based reversible synthesis benefits from
+Boolean matching because a synthesiser can recognise that a target function
+is a negation/permutation variant of an already-optimised template and reuse
+that implementation instead of re-synthesising from scratch.
+
+The script builds a small template library (adder, gray code, hidden-
+weighted-bit, increment), then takes "incoming" functions that are scrambled
+variants of library entries and shows that
+
+* structural comparison fails (the scrambled cascades look nothing alike),
+* functional NP-I matching recognises the right template in O(log n)
+  queries, and
+* instantiating the template with the recovered witnesses reproduces the
+  target exactly, usually with far fewer gates than re-synthesis.
+
+Run with:  python examples/template_matching_synthesis.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.report import format_table
+from repro.circuits import library
+from repro.circuits.permutation import Permutation
+from repro.circuits.random import random_line_permutation, random_negation
+from repro.circuits.transforms import transformed_circuit
+from repro.core import EquivalenceType
+from repro.synthesis import TemplateLibrary, synthesize
+
+
+def main() -> None:
+    rng = random.Random(11)
+
+    templates = TemplateLibrary()
+    templates.add("adder2", library.ripple_adder(2))
+    templates.add("gray4", library.gray_code(4))
+    templates.add("hwb4", library.hidden_weighted_bit(4))
+    templates.add("increment4", library.increment(4))
+    print(f"Template library with {len(templates)} entries\n")
+
+    rows = []
+    for template_name in ("hwb4", "adder2", "increment4"):
+        template = templates.get(template_name)
+        nu = random_negation(4, rng)
+        pi = random_line_permutation(4, rng)
+        target = transformed_circuit(template, nu_x=nu, pi_x=pi)
+
+        hit = templates.lookup(target, EquivalenceType.NP_I)
+        instantiated = hit.instantiate()
+        assert instantiated.functionally_equal(target)
+
+        resynthesized = synthesize(Permutation.from_circuit(target))
+        rows.append(
+            [
+                template_name,
+                hit.template_name,
+                hit.queries,
+                instantiated.num_gates,
+                resynthesized.num_gates,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "scrambled from",
+                "matched template",
+                "oracle queries",
+                "gates via template",
+                "gates via re-synthesis",
+            ],
+            rows,
+            title="Functional template recognition under NP-I matching",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

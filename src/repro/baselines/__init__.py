@@ -1,0 +1,17 @@
+"""Baselines the paper's algorithms are compared against.
+
+* :mod:`repro.baselines.brute_force` — exhaustive search over negation masks
+  and/or line permutations for any equivalence class; exponential, but the
+  only generally applicable approach for the UNIQUE-SAT-hard classes.
+* :mod:`repro.baselines.classical_collision` — the classical randomised
+  collision search for N-I matching without inverse access, whose
+  ``Omega(2^{n/2})`` query cost (Theorem 1) is the counterpart of
+  Algorithm 1's exponential quantum speedup.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.brute_force import brute_force_match
+from repro.baselines.classical_collision import match_n_i_collision
+
+__all__ = ["brute_force_match", "match_n_i_collision"]

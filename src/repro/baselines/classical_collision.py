@@ -1,0 +1,102 @@
+"""Classical collision search for N-I matching without inverse access.
+
+Theorem 1 shows that without inverse circuits any classical algorithm for
+N-I matching needs ``Omega(2^{n/2})`` oracle queries: the only way to learn
+anything about the hidden negation is to observe the *same* output pattern
+from both circuits, and finding such a collision by (random) probing is a
+birthday problem.
+
+This module implements the natural matching upper bound: query ``C1`` on one
+reference input, then query ``C2`` on random inputs until its output equals
+``C1``'s; the XOR of the two inputs is the negation mask.  The expected
+query count is ``Theta(2^n)`` for this single-reference variant and
+``Theta(2^{n/2})`` for the two-sided birthday variant, both exponential —
+the quantity the Theorem 1 benchmark plots against Algorithm 1's linear
+quantum cost.
+"""
+
+from __future__ import annotations
+
+import random as _random
+
+from repro.bits import int_to_bits
+from repro.circuits.random import coerce_rng
+from repro.core.equivalence import EquivalenceType
+from repro.core.matchers._sequences import QuerySnapshot
+from repro.core.problem import MatchingResult
+from repro.exceptions import MatchingError
+from repro.oracles.oracle import as_oracle
+
+__all__ = ["match_n_i_collision"]
+
+
+def match_n_i_collision(
+    circuit1,
+    circuit2,
+    rng: _random.Random | int | None = None,
+    max_queries: int | None = None,
+    two_sided: bool = True,
+) -> MatchingResult:
+    """Find ``nu`` with ``C1 = C2 C_nu`` by classical collision search.
+
+    Args:
+        circuit1, circuit2: circuits or (inverse-less) oracles promised to be
+            N-I equivalent.
+        rng: randomness source.
+        max_queries: optional bound on total queries; exceeding it raises
+            :class:`MatchingError` (the benchmarks use this to cap runtime).
+        two_sided: use the birthday-style two-sided search (expected
+            ``Theta(2^{n/2})`` queries); when False, a single reference query
+            to ``C1`` is used and only ``C2`` is probed (expected
+            ``Theta(2^n)`` queries).
+
+    Returns:
+        A result whose ``nu_x`` is the negation mask and whose ``queries``
+        field exhibits the exponential scaling of Theorem 1.
+    """
+    oracle1 = as_oracle(circuit1)
+    oracle2 = as_oracle(circuit2)
+    snapshot = QuerySnapshot(oracle1, oracle2)
+    num_lines = oracle1.num_lines
+    rng = coerce_rng(rng)
+
+    def finish(input1: int, input2: int) -> MatchingResult:
+        mask = input1 ^ input2
+        nu_x = tuple(bool(bit) for bit in int_to_bits(mask, num_lines))
+        return MatchingResult(
+            EquivalenceType.N_I,
+            nu_x=nu_x,
+            queries=snapshot.queries,
+            metadata={"regime": "classical-collision", "two_sided": two_sided},
+        )
+
+    if not two_sided:
+        reference_input = rng.getrandbits(num_lines)
+        reference_output = oracle1.query(reference_input)
+        while True:
+            if max_queries is not None and snapshot.queries >= max_queries:
+                raise MatchingError(
+                    f"collision search exceeded {max_queries} queries"
+                )
+            probe = rng.getrandbits(num_lines)
+            if oracle2.query(probe) == reference_output:
+                # C1(r) = C2(r XOR mask) and we found probe with the same
+                # output, so probe = r XOR mask.
+                return finish(reference_input, probe)
+
+    seen1: dict[int, int] = {}
+    seen2: dict[int, int] = {}
+    while True:
+        if max_queries is not None and snapshot.queries >= max_queries:
+            raise MatchingError(f"collision search exceeded {max_queries} queries")
+        probe1 = rng.getrandbits(num_lines)
+        output1 = oracle1.query(probe1)
+        if output1 in seen2:
+            return finish(probe1, seen2[output1])
+        seen1[output1] = probe1
+
+        probe2 = rng.getrandbits(num_lines)
+        output2 = oracle2.query(probe2)
+        if output2 in seen1:
+            return finish(seen1[output2], probe2)
+        seen2[output2] = probe2

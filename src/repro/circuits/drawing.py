@@ -1,0 +1,100 @@
+"""ASCII rendering of reversible circuits (Fig. 2 style).
+
+Circuits are drawn one text row per line, gates left to right in application
+order, using the conventional glyphs:
+
+* ``●`` positive control, ``○`` negative control,
+* ``⊕`` MCT target, ``✕`` the two ends of a swap,
+* ``│`` the vertical connector through lines a gate spans,
+* ``─`` idle wire.
+
+An ``ascii_only`` mode replaces the glyphs with ``*``, ``o``, ``+``, ``x``
+and ``|`` for environments without Unicode.  The renderer is intentionally
+simple — one column per gate — because its purpose is debuggability and
+documentation, not typesetting.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import ReversibleCircuit
+from repro.circuits.gates import MCTGate, SwapGate
+
+__all__ = ["draw"]
+
+_GLYPHS = {
+    "positive": "●",
+    "negative": "○",
+    "target": "⊕",
+    "swap": "✕",
+    "wire": "─",
+    "bridge": "│",
+}
+_ASCII_GLYPHS = {
+    "positive": "*",
+    "negative": "o",
+    "target": "+",
+    "swap": "x",
+    "wire": "-",
+    "bridge": "|",
+}
+
+
+def _gate_column(gate, num_lines: int, glyphs: dict[str, str]) -> list[str]:
+    """The per-line glyphs of one gate column."""
+    column = [glyphs["wire"]] * num_lines
+    if isinstance(gate, SwapGate):
+        marks = {gate.line_a: glyphs["swap"], gate.line_b: glyphs["swap"]}
+    elif isinstance(gate, MCTGate):
+        marks = {
+            control.line: glyphs["positive" if control.positive else "negative"]
+            for control in gate.controls
+        }
+        marks[gate.target] = glyphs["target"]
+    else:  # pragma: no cover - custom gates are rendered as plain bridges
+        marks = {line: glyphs["bridge"] for line in gate.lines}
+    span = sorted(marks)
+    for line in range(span[0], span[-1] + 1):
+        if line in marks:
+            column[line] = marks[line]
+        else:
+            column[line] = glyphs["bridge"]
+    return column
+
+
+def draw(
+    circuit: ReversibleCircuit,
+    line_labels: list[str] | None = None,
+    ascii_only: bool = False,
+    column_spacing: int = 2,
+) -> str:
+    """Render ``circuit`` as multi-line ASCII art.
+
+    Args:
+        circuit: the circuit to draw.
+        line_labels: optional per-line labels (defaults to ``x0``, ``x1``, ...).
+        ascii_only: use pure-ASCII glyphs.
+        column_spacing: number of wire characters between gate columns.
+
+    Returns:
+        The drawing as a single string (no trailing newline).
+    """
+    glyphs = _ASCII_GLYPHS if ascii_only else _GLYPHS
+    num_lines = circuit.num_lines
+    if line_labels is None:
+        line_labels = [f"x{line}" for line in range(num_lines)]
+    if len(line_labels) != num_lines:
+        raise ValueError(
+            f"expected {num_lines} line labels, got {len(line_labels)}"
+        )
+    label_width = max(len(label) for label in line_labels)
+
+    columns = [_gate_column(gate, num_lines, glyphs) for gate in circuit]
+    spacer = glyphs["wire"] * column_spacing
+    rows = []
+    for line in range(num_lines):
+        label = line_labels[line].rjust(label_width)
+        body = spacer + spacer.join(column[line] for column in columns) + spacer
+        if not columns:
+            body = spacer * 2
+        rows.append(f"{label} {body}")
+    return "\n".join(rows)

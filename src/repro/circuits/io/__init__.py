@@ -1,0 +1,27 @@
+"""Circuit readers and writers.
+
+* :mod:`repro.circuits.io.real` — the RevLib ``.real`` format (the de-facto
+  standard interchange format for reversible benchmark circuits).
+* :mod:`repro.circuits.io.qasm` — a minimal OpenQASM 2.0 exporter/importer
+  covering the gate set reversible circuits use (``x``, ``cx``, ``ccx``,
+  ``swap`` and multi-controlled ``x`` via comment-annotated decomposition).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.io.qasm import circuit_to_qasm, qasm_to_circuit
+from repro.circuits.io.real import (
+    circuit_to_real,
+    parse_real,
+    read_real,
+    write_real,
+)
+
+__all__ = [
+    "parse_real",
+    "read_real",
+    "write_real",
+    "circuit_to_real",
+    "circuit_to_qasm",
+    "qasm_to_circuit",
+]

@@ -1,0 +1,170 @@
+"""Line permutations — the ``pi`` objects of the paper.
+
+Problem 1 of the paper asks for permutation functions
+``pi : {1, ..., n} -> {1, ..., n}`` where ``pi(i) = j`` means "the i-th bit
+is permuted to the j-th bit".  :class:`LinePermutation` is that object with
+0-based indices: ``pi[i] = j`` moves line ``i``'s value to line ``j``.
+
+A line permutation acts on bit vectors (output bit ``pi[i]`` = input bit
+``i``), lifts to a :class:`~repro.circuits.permutation.Permutation` on
+``range(2**n)``, and can be realised as a swap-gate circuit ``C_pi`` via
+:func:`repro.circuits.transforms.permutation_circuit`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.circuits.permutation import Permutation
+from repro.exceptions import PermutationError
+
+__all__ = ["LinePermutation"]
+
+
+class LinePermutation:
+    """A permutation of the ``n`` circuit lines.
+
+    Args:
+        mapping: sequence of length ``n`` with ``mapping[i] = j`` meaning
+            line ``i`` is sent to line ``j`` (paper notation ``pi(i) = j``).
+    """
+
+    def __init__(self, mapping: Sequence[int]) -> None:
+        mapping = list(mapping)
+        if sorted(mapping) != list(range(len(mapping))):
+            raise PermutationError(
+                f"{mapping!r} is not a permutation of range({len(mapping)})"
+            )
+        self._mapping = mapping
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def identity(cls, num_lines: int) -> "LinePermutation":
+        """The identity line permutation on ``num_lines`` lines."""
+        return cls(list(range(num_lines)))
+
+    @classmethod
+    def from_cycles(cls, num_lines: int, *cycles: Sequence[int]) -> "LinePermutation":
+        """Build a line permutation from disjoint cycles.
+
+        Example: ``LinePermutation.from_cycles(4, (0, 2, 1))`` sends line 0
+        to line 2, line 2 to line 1 and line 1 to line 0, leaving line 3
+        fixed.
+        """
+        mapping = list(range(num_lines))
+        seen: set[int] = set()
+        for cycle in cycles:
+            for line in cycle:
+                if line in seen:
+                    raise PermutationError(f"line {line} appears in two cycles")
+                if not 0 <= line < num_lines:
+                    raise PermutationError(
+                        f"line {line} out of range for {num_lines} lines"
+                    )
+                seen.add(line)
+            for index, line in enumerate(cycle):
+                mapping[line] = cycle[(index + 1) % len(cycle)]
+        return cls(mapping)
+
+    # -- structure -----------------------------------------------------------
+    @property
+    def num_lines(self) -> int:
+        """Number of circuit lines ``n``."""
+        return len(self._mapping)
+
+    @property
+    def mapping(self) -> tuple[int, ...]:
+        """The raw mapping as an immutable tuple (``mapping[i] = pi(i)``)."""
+        return tuple(self._mapping)
+
+    def __getitem__(self, line: int) -> int:
+        return self._mapping[line]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    # -- semantics -----------------------------------------------------------
+    def apply_to_vector(self, value: int) -> int:
+        """Apply to an integer bit vector: output bit ``pi[i]`` = input bit ``i``."""
+        result = 0
+        for source, destination in enumerate(self._mapping):
+            if (value >> source) & 1:
+                result |= 1 << destination
+        return result
+
+    def apply_to_bits(self, bits: Sequence[int]) -> list[int]:
+        """Apply to a bit list (index = line)."""
+        if len(bits) != len(self._mapping):
+            raise PermutationError(
+                f"expected {len(self._mapping)} bits, got {len(bits)}"
+            )
+        result = [0] * len(bits)
+        for source, destination in enumerate(self._mapping):
+            result[destination] = bits[source]
+        return result
+
+    def inverse(self) -> "LinePermutation":
+        """The inverse line permutation."""
+        inverse = [0] * len(self._mapping)
+        for source, destination in enumerate(self._mapping):
+            inverse[destination] = source
+        return LinePermutation(inverse)
+
+    def compose(self, inner: "LinePermutation") -> "LinePermutation":
+        """The composition ``self o inner`` (``inner`` applied first).
+
+        ``(self.compose(inner))[i] == self[inner[i]]`` — first move line
+        ``i`` to ``inner[i]``, then to ``self[inner[i]]``.
+        """
+        if inner.num_lines != self.num_lines:
+            raise PermutationError(
+                "cannot compose line permutations of different sizes "
+                f"({self.num_lines} vs {inner.num_lines})"
+            )
+        return LinePermutation([self._mapping[j] for j in inner._mapping])
+
+    def __matmul__(self, inner: "LinePermutation") -> "LinePermutation":
+        return self.compose(inner)
+
+    def is_identity(self) -> bool:
+        """Whether this is the identity permutation."""
+        return all(destination == line for line, destination in enumerate(self._mapping))
+
+    def to_permutation(self) -> Permutation:
+        """Lift to a permutation on ``range(2**n)`` acting on bit vectors."""
+        return Permutation.from_function(self.apply_to_vector, self.num_lines)
+
+    def cycles(self) -> list[tuple[int, ...]]:
+        """Cycle decomposition on lines, fixed lines omitted."""
+        seen = [False] * self.num_lines
+        cycles: list[tuple[int, ...]] = []
+        for start in range(self.num_lines):
+            if seen[start]:
+                continue
+            cycle = [start]
+            seen[start] = True
+            current = self._mapping[start]
+            while current != start:
+                cycle.append(current)
+                seen[current] = True
+                current = self._mapping[current]
+            if len(cycle) > 1:
+                cycles.append(tuple(cycle))
+        return cycles
+
+    # -- dunder plumbing -----------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LinePermutation):
+            return self._mapping == other._mapping
+        if isinstance(other, (list, tuple)):
+            return self._mapping == list(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._mapping))
+
+    def __repr__(self) -> str:
+        return f"LinePermutation({self._mapping!r})"

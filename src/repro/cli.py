@@ -1,0 +1,228 @@
+"""Command-line interface.
+
+Four sub-commands cover the workflows a user of the library reaches for most
+often without writing Python:
+
+* ``repro info CIRCUIT.real`` — line/gate counts, cost metrics and an ASCII
+  drawing of a circuit file;
+* ``repro match C1.real C2.real --equivalence NP-I`` — run the Boolean
+  matcher of a tractable class and print the witnesses;
+* ``repro decide C1.real C2.real --equivalence NP-I`` — the non-promise
+  decision (match + validate);
+* ``repro synth --permutation 0,3,1,2 [--output out.real]`` — synthesise an
+  MCT circuit for an explicitly given permutation.
+
+Circuit files may be RevLib ``.real`` or OpenQASM (chosen by extension).
+The module is importable (``python -m repro ...``) and also exposed through
+the ``repro`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.circuits import drawing, metrics
+from repro.circuits.circuit import ReversibleCircuit
+from repro.circuits.io import qasm, real
+from repro.circuits.permutation import Permutation
+from repro.core import EquivalenceType, match, verify_match
+from repro.core.decision import decide
+from repro.exceptions import ReproError
+from repro.oracles import CircuitOracle
+from repro.synthesis import synthesize
+from repro.version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_circuit(path: str) -> ReversibleCircuit:
+    if path.endswith(".qasm"):
+        with open(path, "r", encoding="utf-8") as handle:
+            return qasm.qasm_to_circuit(handle.read(), name=path)
+    return real.read_real(path)
+
+
+def _save_circuit(circuit: ReversibleCircuit, path: str) -> None:
+    if path.endswith(".qasm"):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(qasm.circuit_to_qasm(circuit))
+    else:
+        real.write_real(circuit, path)
+
+
+def _format_witnesses(result) -> str:
+    lines = []
+    if result.nu_x is not None:
+        lines.append("nu_x = " + "".join("1" if b else "0" for b in result.nu_x))
+    if result.pi_x is not None:
+        lines.append(f"pi_x = {list(result.pi_x.mapping)}")
+    if result.nu_y is not None:
+        lines.append("nu_y = " + "".join("1" if b else "0" for b in result.nu_y))
+    if result.pi_y is not None:
+        lines.append(f"pi_y = {list(result.pi_y.mapping)}")
+    lines.append(f"classical queries = {result.queries}")
+    if result.quantum_queries:
+        lines.append(f"quantum queries  = {result.quantum_queries}")
+        lines.append(f"swap tests       = {result.swap_tests}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Sub-command handlers
+# ---------------------------------------------------------------------------
+def _cmd_info(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    report = metrics.metrics(circuit)
+    print(f"circuit : {circuit.name or args.circuit}")
+    for key, value in report.as_dict().items():
+        print(f"{key:13s}: {value}")
+    counts = circuit.gate_counts()
+    if counts:
+        print("gate histogram:", ", ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+    if args.draw:
+        print()
+        print(drawing.draw(circuit, ascii_only=args.ascii))
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    c1 = _load_circuit(args.circuit1)
+    c2 = _load_circuit(args.circuit2)
+    equivalence = EquivalenceType.from_label(args.equivalence)
+    if args.with_inverse:
+        target1 = CircuitOracle(c1, with_inverse=True)
+        target2 = CircuitOracle(c2, with_inverse=True)
+    else:
+        target1, target2 = c1, c2
+    result = match(
+        target1,
+        target2,
+        equivalence,
+        epsilon=args.epsilon,
+        rng=args.seed,
+        allow_quantum=not args.no_quantum,
+    )
+    print(f"equivalence : {equivalence.label}")
+    print(_format_witnesses(result))
+    if args.verify:
+        ok = verify_match(c1, c2, equivalence, result)
+        print(f"verified    : {'PASS' if ok else 'FAIL'}")
+        return 0 if ok else 1
+    return 0
+
+
+def _cmd_decide(args: argparse.Namespace) -> int:
+    c1 = _load_circuit(args.circuit1)
+    c2 = _load_circuit(args.circuit2)
+    outcome = decide(
+        c1,
+        c2,
+        args.equivalence,
+        epsilon=args.epsilon,
+        rng=args.seed,
+        allow_quantum=not args.no_quantum,
+        allow_brute_force=args.brute_force,
+    )
+    print(f"equivalent: {'yes' if outcome.equivalent else 'no'}")
+    if outcome.equivalent and outcome.result is not None:
+        print(_format_witnesses(outcome.result))
+    return 0 if outcome.equivalent else 1
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    mapping = [int(token) for token in args.permutation.split(",")]
+    circuit = synthesize(
+        Permutation(mapping), bidirectional=not args.basic, name="synthesized"
+    )
+    print(f"synthesised {circuit.num_gates} gates on {circuit.num_lines} lines")
+    print(drawing.draw(circuit, ascii_only=args.ascii))
+    if args.output:
+        _save_circuit(circuit, args.output)
+        print(f"written to {args.output}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Boolean matching of reversible circuits (DAC 2024 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="inspect a circuit file")
+    info.add_argument("circuit", help="path to a .real or .qasm file")
+    info.add_argument("--draw", action="store_true", help="print an ASCII drawing")
+    info.add_argument("--ascii", action="store_true", help="pure-ASCII glyphs")
+    info.set_defaults(handler=_cmd_info)
+
+    def add_matching_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("circuit1", help="path to C1")
+        sub.add_argument("circuit2", help="path to C2")
+        sub.add_argument(
+            "--equivalence", "-e", default="NP-I", help="X-Y class (default NP-I)"
+        )
+        sub.add_argument("--epsilon", type=float, default=1e-3)
+        sub.add_argument("--seed", type=int, default=None)
+        sub.add_argument(
+            "--no-quantum",
+            action="store_true",
+            help="disallow the simulated quantum matchers",
+        )
+
+    matcher = subparsers.add_parser("match", help="run a promise matcher")
+    add_matching_arguments(matcher)
+    matcher.add_argument(
+        "--with-inverse",
+        action="store_true",
+        help="grant the matcher inverse-circuit access (Table 1 left column)",
+    )
+    matcher.add_argument(
+        "--verify", action="store_true", help="exhaustively verify the witnesses"
+    )
+    matcher.set_defaults(handler=_cmd_match)
+
+    decider = subparsers.add_parser("decide", help="non-promise decision")
+    add_matching_arguments(decider)
+    decider.add_argument(
+        "--brute-force",
+        action="store_true",
+        help="allow exponential search for the UNIQUE-SAT-hard classes",
+    )
+    decider.set_defaults(handler=_cmd_decide)
+
+    synth = subparsers.add_parser("synth", help="synthesise a permutation")
+    synth.add_argument(
+        "--permutation",
+        required=True,
+        help="comma-separated image list over range(2^n), e.g. 0,3,1,2",
+    )
+    synth.add_argument("--basic", action="store_true", help="basic (not bidirectional)")
+    synth.add_argument("--output", "-o", help="write the circuit to a file")
+    synth.add_argument("--ascii", action="store_true", help="pure-ASCII glyphs")
+    synth.set_defaults(handler=_cmd_synth)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests on main()
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""The paper's core contribution: Boolean matching of reversible circuits.
+
+Public surface:
+
+* :class:`EquivalenceType`, :class:`Hardness`, :func:`classify`,
+  :func:`dominates`, :func:`domination_lattice` — the 16 X-Y equivalence
+  classes and the Fig. 1 lattice/classification.
+* :func:`match` — the dispatcher selecting the Section 4 algorithm for a
+  promised equivalence class.
+* :class:`MatchingResult`, :class:`MatchingProblem` — result/problem types.
+* :func:`verify_match`, :func:`make_instance` — witness verification and
+  promised-instance construction.
+* :mod:`repro.core.matchers` — the individual algorithms (one per class).
+* :mod:`repro.core.hardness` — the Section 5 UNIQUE-SAT reductions.
+"""
+
+from __future__ import annotations
+
+from repro.core import equivalence_check, hardness, matchers
+from repro.core.decision import DecisionOutcome, decide
+from repro.core.dispatcher import match
+from repro.core.equivalence import (
+    TABLE1_ROWS,
+    EquivalenceType,
+    Hardness,
+    SideCondition,
+    Table1Row,
+    classify,
+    dominates,
+    domination_edges,
+    domination_lattice,
+)
+from repro.core.problem import MatchingProblem, MatchingResult
+from repro.core.verify import (
+    GroundTruth,
+    make_instance,
+    reconstructed_circuit,
+    verify_match,
+)
+
+__all__ = [
+    "EquivalenceType",
+    "SideCondition",
+    "Hardness",
+    "classify",
+    "dominates",
+    "domination_lattice",
+    "domination_edges",
+    "Table1Row",
+    "TABLE1_ROWS",
+    "MatchingProblem",
+    "MatchingResult",
+    "GroundTruth",
+    "match",
+    "decide",
+    "DecisionOutcome",
+    "make_instance",
+    "reconstructed_circuit",
+    "verify_match",
+    "matchers",
+    "hardness",
+    "equivalence_check",
+]

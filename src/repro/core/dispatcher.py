@@ -1,0 +1,135 @@
+"""The top-level :func:`match` entry point.
+
+Dispatches a matching request to the algorithm appropriate for the
+equivalence class and the available resources (inverse oracles, quantum
+access).  Hard classes raise :class:`UnsupportedEquivalenceError` with a
+pointer to the hardness reductions and the brute-force baselines — exactly
+the situation Section 5 of the paper establishes.
+"""
+
+from __future__ import annotations
+
+import random as _random
+
+from repro.core.equivalence import EquivalenceType, Hardness, classify
+from repro.core.matchers import (
+    match_i_i,
+    match_i_n,
+    match_i_np,
+    match_i_p,
+    match_n_i,
+    match_n_i_quantum,
+    match_n_p,
+    match_np_i,
+    match_p_i,
+    match_p_n,
+)
+from repro.core.problem import MatchingResult
+from repro.exceptions import UnsupportedEquivalenceError
+from repro.oracles.oracle import ReversibleOracle, as_oracle
+from repro.quantum.swap_test import SwapTest
+
+__all__ = ["match"]
+
+
+def _has_inverse(target) -> bool:
+    if isinstance(target, ReversibleOracle):
+        return target.has_inverse
+    return False
+
+
+def match(
+    circuit1,
+    circuit2,
+    equivalence: EquivalenceType | str,
+    *,
+    epsilon: float = 1e-3,
+    rng: _random.Random | int | None = None,
+    allow_quantum: bool = True,
+    swap_test: SwapTest | None = None,
+) -> MatchingResult:
+    """Match two reversible circuits under a promised X-Y equivalence.
+
+    Args:
+        circuit1, circuit2: the circuits — either
+            :class:`~repro.circuits.circuit.ReversibleCircuit` /
+            :class:`~repro.circuits.permutation.Permutation` objects (treated
+            as black boxes *without* inverse access; wrap them in a
+            :class:`~repro.oracles.CircuitOracle` with ``with_inverse=True``
+            to grant it) or pre-configured oracles.
+        equivalence: the promised class, as an :class:`EquivalenceType` or an
+            "X-Y" label string.
+        epsilon: admissible failure probability for randomised/quantum
+            matchers.
+        rng: randomness source (seed or ``random.Random``) for repeatability.
+        allow_quantum: permit the swap-test algorithms for N-I / NP-I when no
+            inverse is available.  Requires white-box access for the
+            simulator (a circuit, permutation, or an oracle wrapping one).
+        swap_test: optionally a pre-configured :class:`SwapTest` instance.
+
+    Returns:
+        A :class:`MatchingResult` with the witnesses and query accounting.
+
+    Raises:
+        UnsupportedEquivalenceError: for the UNIQUE-SAT-hard classes, for
+            N-P without both inverses, and for N-I/NP-I without inverses when
+            quantum access is disallowed.
+    """
+    if isinstance(equivalence, str):
+        equivalence = EquivalenceType.from_label(equivalence)
+
+    hardness = classify(equivalence)
+    if hardness is Hardness.UNIQUE_SAT_HARD:
+        raise UnsupportedEquivalenceError(
+            f"{equivalence.label} matching is no easier than UNIQUE-SAT "
+            "(Theorems 2 and 3); see repro.core.hardness for the reductions "
+            "and repro.baselines.brute_force for exponential search"
+        )
+
+    if equivalence is EquivalenceType.I_I:
+        return match_i_i(circuit1, circuit2)
+    if equivalence is EquivalenceType.I_N:
+        return match_i_n(circuit1, circuit2)
+    if equivalence is EquivalenceType.I_P:
+        return match_i_p(circuit1, circuit2, epsilon=epsilon, rng=rng)
+    if equivalence is EquivalenceType.I_NP:
+        return match_i_np(circuit1, circuit2, epsilon=epsilon, rng=rng)
+    if equivalence is EquivalenceType.P_I:
+        return match_p_i(circuit1, circuit2)
+    if equivalence is EquivalenceType.P_N:
+        return match_p_n(circuit1, circuit2)
+    if equivalence is EquivalenceType.N_P:
+        return match_n_p(circuit1, circuit2)
+
+    inverse_available = _has_inverse(circuit1) or _has_inverse(circuit2)
+    if equivalence is EquivalenceType.N_I:
+        if inverse_available:
+            return match_n_i(circuit1, circuit2)
+        if allow_quantum:
+            return match_n_i_quantum(
+                circuit1, circuit2, epsilon=epsilon, rng=rng, swap_test=swap_test
+            )
+        raise UnsupportedEquivalenceError(
+            "N-I without inverse access needs the quantum algorithm "
+            "(allow_quantum=True) or the exponential classical baseline"
+        )
+    if equivalence is EquivalenceType.NP_I:
+        if inverse_available:
+            return match_np_i(circuit1, circuit2, epsilon=epsilon, rng=rng)
+        if allow_quantum:
+            return match_np_i(
+                circuit1, circuit2, epsilon=epsilon, rng=rng, swap_test=swap_test
+            )
+        raise UnsupportedEquivalenceError(
+            "NP-I without inverse access needs the quantum algorithm "
+            "(allow_quantum=True) or the exponential classical baseline"
+        )
+
+    raise UnsupportedEquivalenceError(  # pragma: no cover - exhaustive above
+        f"no matcher registered for {equivalence.label}"
+    )
+
+
+def _coerce_pair(circuit1, circuit2) -> tuple[ReversibleOracle, ReversibleOracle]:
+    """Internal helper kept for API symmetry (oracles coerced lazily)."""
+    return as_oracle(circuit1), as_oracle(circuit2)

@@ -1,0 +1,53 @@
+"""Hardness reductions of Section 5 (UNIQUE-SAT to matching).
+
+* :mod:`repro.core.hardness.encoding` — the UNIQUE-SAT encoding circuit of
+  Fig. 5(a)/(b) and the comparison circuit of Fig. 5(c).
+* :mod:`repro.core.hardness.nn_reduction` — Theorem 2: UNIQUE-SAT is
+  polynomially reducible to N-N matching; includes witness encoding/decoding
+  and an end-to-end (exponential, small-instance) decision procedure used by
+  the experiments.
+* :mod:`repro.core.hardness.pp_reduction` — Theorem 3: the dual-rail variant
+  reducing UNIQUE-SAT to P-P matching.
+"""
+
+from __future__ import annotations
+
+from repro.core.hardness.encoding import (
+    EncodingLayout,
+    clause_gates,
+    comparison_circuit,
+    formula_block,
+    unique_sat_encoding_circuit,
+)
+from repro.core.hardness.nn_reduction import (
+    NNInstance,
+    assignment_from_nn_witness,
+    build_nn_instance,
+    decide_unique_sat_via_nn,
+    nn_witness_from_assignment,
+)
+from repro.core.hardness.pp_reduction import (
+    PPInstance,
+    assignment_from_pp_witness,
+    build_pp_instance,
+    dual_rail_formula,
+    pp_witness_from_assignment,
+)
+
+__all__ = [
+    "EncodingLayout",
+    "clause_gates",
+    "formula_block",
+    "unique_sat_encoding_circuit",
+    "comparison_circuit",
+    "NNInstance",
+    "build_nn_instance",
+    "nn_witness_from_assignment",
+    "assignment_from_nn_witness",
+    "decide_unique_sat_via_nn",
+    "PPInstance",
+    "build_pp_instance",
+    "dual_rail_formula",
+    "pp_witness_from_assignment",
+    "assignment_from_pp_witness",
+]

@@ -1,0 +1,193 @@
+"""The UNIQUE-SAT encoding circuits of Fig. 5.
+
+Given a CNF formula ``phi`` over ``n`` variables with ``m`` clauses, the
+encoding circuit ``C1`` (Fig. 5a) acts on ``n + m + 2`` lines:
+
+* lines ``0 .. n-1`` — the variable lines ``b_x``;
+* lines ``n .. n+m-1`` — one ancilla line ``b_a`` per clause;
+* line ``n+m`` — the helper ancilla ``b_b``;
+* line ``n+m+1`` — the result line ``b_z``.
+
+Every line except ``b_z`` is restored to its input value; ``b_z`` receives
+``z XOR f`` with ``f = phi(x) AND (a_1' ... a_m')`` (all clause ancillas
+zero), exactly Eq. (3).  The construction uses four copies of the
+clause-evaluation block ``U(phi)`` (Fig. 5b) interleaved with four MCT
+gates, for a total of ``8m + 4`` gates — the polynomial size the reductions
+of Theorems 2 and 3 rely on.
+
+The comparison circuit ``C2`` (Fig. 5c) is a single MCT gate whose controls
+are positive on a chosen set of lines and negative on another, targeting
+``b_z``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.circuits.circuit import ReversibleCircuit
+from repro.circuits.gates import Control, MCTGate, not_gate
+from repro.exceptions import CircuitError
+from repro.sat.cnf import CNF, Clause
+
+__all__ = [
+    "EncodingLayout",
+    "clause_gates",
+    "formula_block",
+    "unique_sat_encoding_circuit",
+    "comparison_circuit",
+]
+
+
+@dataclass(frozen=True)
+class EncodingLayout:
+    """Line layout of the Fig. 5 circuits.
+
+    Attributes:
+        num_variables: CNF variable count ``n``.
+        num_clauses: CNF clause count ``m``.
+        variable_lines: lines carrying the CNF variables (``x_j`` on line
+            ``variable_lines[j-1]``).
+        clause_lines: one ancilla line per clause.
+        helper_line: the ``b_b`` ancilla line.
+        result_line: the ``b_z`` line receiving ``z XOR f``.
+    """
+
+    num_variables: int
+    num_clauses: int
+    variable_lines: tuple[int, ...]
+    clause_lines: tuple[int, ...]
+    helper_line: int
+    result_line: int
+
+    @property
+    def num_lines(self) -> int:
+        """Total line count of the encoding circuit."""
+        return self.result_line + 1
+
+    def variable_line(self, variable: int) -> int:
+        """Line index of CNF variable ``variable`` (1-based DIMACS index)."""
+        return self.variable_lines[variable - 1]
+
+
+def layout_for(formula: CNF) -> EncodingLayout:
+    """The canonical line layout for ``formula``."""
+    n = formula.num_variables
+    m = formula.num_clauses
+    return EncodingLayout(
+        num_variables=n,
+        num_clauses=m,
+        variable_lines=tuple(range(n)),
+        clause_lines=tuple(range(n, n + m)),
+        helper_line=n + m,
+        result_line=n + m + 1,
+    )
+
+
+def clause_gates(
+    clause: Clause, clause_line: int, layout: EncodingLayout
+) -> list[MCTGate]:
+    """The clause-encoding block ``U(c)`` of Fig. 5(b).
+
+    The MCT gate fires exactly when every literal of the clause is false
+    (positive literals get negative controls and vice versa), flipping the
+    clause ancilla; the trailing NOT flips it back, so the ancilla picks up
+    ``XOR c`` — the clause's truth value.
+    """
+    if clause.is_empty:
+        raise CircuitError("cannot encode an empty clause")
+    controls = []
+    for literal in clause:
+        line = layout.variable_line(abs(literal))
+        # literal false <=> line value equals 0 for a positive literal
+        # (negative control) and 1 for a negated literal (positive control).
+        controls.append(Control(line, positive=literal < 0))
+    return [MCTGate(tuple(controls), clause_line), not_gate(clause_line)]
+
+
+def formula_block(formula: CNF, layout: EncodingLayout) -> list[MCTGate]:
+    """The block ``U(phi)``: clause-encoding circuits for every clause.
+
+    After the block, clause ancilla ``i`` holds ``a_i XOR c_i``; the block is
+    its own inverse.
+    """
+    gates: list[MCTGate] = []
+    for index, clause in enumerate(formula):
+        gates.extend(clause_gates(clause, layout.clause_lines[index], layout))
+    return gates
+
+
+def unique_sat_encoding_circuit(
+    formula: CNF, layout: EncodingLayout | None = None
+) -> tuple[ReversibleCircuit, EncodingLayout]:
+    """Build the UNIQUE-SAT encoding circuit ``C1`` of Fig. 5(a).
+
+    Returns the circuit together with its line layout.  The circuit computes
+    ``b_z XOR= phi(x) AND (all clause ancillas zero)`` and restores every
+    other line, using ``8m + 4`` MCT gates.
+    """
+    if formula.num_variables == 0 or formula.num_clauses == 0:
+        raise CircuitError(
+            "the Fig. 5 encoding needs at least one variable and one clause"
+        )
+    if layout is None:
+        layout = layout_for(formula)
+    if layout.num_clauses != formula.num_clauses:
+        raise CircuitError("layout clause count does not match the formula")
+    circuit = ReversibleCircuit(layout.num_lines, name="unique_sat_encoding")
+    block = formula_block(formula, layout)
+
+    clause_zero_controls = tuple(
+        Control(line, positive=False) for line in layout.clause_lines
+    )
+    clause_set_controls = tuple(Control(line) for line in layout.clause_lines)
+    helper_control = Control(layout.helper_line)
+
+    # t1: b_b XOR= AND_i (a_i == 0), recorded before the ancillas are dirtied.
+    circuit.append(MCTGate(clause_zero_controls, layout.helper_line))
+    # U(phi): clause ancillas become a_i XOR c_i.
+    circuit.extend(block)
+    # t2: b_z XOR= AND_i (a_i XOR c_i) AND b_b.
+    circuit.append(
+        MCTGate(clause_set_controls + (helper_control,), layout.result_line)
+    )
+    # U(phi): restore the clause ancillas.
+    circuit.extend(block)
+    # t3: restore b_b.
+    circuit.append(MCTGate(clause_zero_controls, layout.helper_line))
+    # U(phi): dirty the ancillas again.
+    circuit.extend(block)
+    # t4: b_z XOR= AND_i (a_i XOR c_i) AND b  (b restored at t3).
+    circuit.append(
+        MCTGate(clause_set_controls + (helper_control,), layout.result_line)
+    )
+    # U(phi): final restore.
+    circuit.extend(block)
+    return circuit, layout
+
+
+def comparison_circuit(
+    layout: EncodingLayout,
+    positive_lines: Iterable[int],
+    negative_lines: Iterable[int] | None = None,
+) -> ReversibleCircuit:
+    """Build the comparison circuit ``C2`` of Fig. 5(c).
+
+    A single MCT gate targeting ``b_z`` with positive controls on
+    ``positive_lines`` and negative controls on ``negative_lines``
+    (defaulting to the clause-ancilla lines).
+    """
+    if negative_lines is None:
+        negative_lines = layout.clause_lines
+    positive_lines = list(positive_lines)
+    negative_lines = list(negative_lines)
+    overlap = set(positive_lines) & set(negative_lines)
+    if overlap:
+        raise CircuitError(f"lines {sorted(overlap)} listed with both polarities")
+    controls = tuple(
+        [Control(line, positive=True) for line in positive_lines]
+        + [Control(line, positive=False) for line in negative_lines]
+    )
+    circuit = ReversibleCircuit(layout.num_lines, name="comparison")
+    circuit.append(MCTGate(controls, layout.result_line))
+    return circuit

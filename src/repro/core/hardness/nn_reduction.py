@@ -1,0 +1,165 @@
+"""Theorem 2: UNIQUE-SAT reduces to N-N matching.
+
+The reduction builds two circuits over ``n + m + 2`` lines:
+
+* ``C1`` — the UNIQUE-SAT encoding circuit (Fig. 5a), computing
+  ``b_z XOR= phi(x) AND (all clause ancillas zero)``;
+* ``C2`` — the comparison circuit (Fig. 5c): a single MCT gate with positive
+  controls on the variable lines and negative controls on the clause
+  ancillas.
+
+``C1`` and ``C2`` are N-N equivalent (``C1 = C_nu_y C2 C_nu_x``) exactly when
+``phi`` is satisfiable, and any valid witness reveals the (unique) satisfying
+assignment on the variable lines: negating a positive control twice turns it
+into a negative control, so line ``i`` is negated in the witness precisely
+when ``x_i = 0`` in the model.
+
+Besides the instance builder, this module provides the witness
+encoder/decoder in both directions and a small end-to-end decision procedure
+(:func:`decide_unique_sat_via_nn`) that plays the role of the hypothetical
+N-N matcher by brute-forcing the negation mask over the variable lines —
+exponential, as Theorem 2 says it must be for any approach unless UNIQUE-SAT
+is easy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.circuits.circuit import ReversibleCircuit
+from repro.circuits.transforms import transformed_circuit
+from repro.core.equivalence import EquivalenceType
+from repro.core.hardness.encoding import (
+    EncodingLayout,
+    comparison_circuit,
+    layout_for,
+    unique_sat_encoding_circuit,
+)
+from repro.core.problem import MatchingResult
+from repro.exceptions import MatchingError
+from repro.sat.cnf import CNF
+
+__all__ = [
+    "NNInstance",
+    "build_nn_instance",
+    "nn_witness_from_assignment",
+    "assignment_from_nn_witness",
+    "decide_unique_sat_via_nn",
+]
+
+
+@dataclass(frozen=True)
+class NNInstance:
+    """An N-N matching instance encoding a UNIQUE-SAT formula.
+
+    Attributes:
+        formula: the encoded CNF formula.
+        c1: the UNIQUE-SAT encoding circuit (Fig. 5a).
+        c2: the comparison circuit (Fig. 5c).
+        layout: the shared line layout.
+    """
+
+    formula: CNF
+    c1: ReversibleCircuit
+    c2: ReversibleCircuit
+    layout: EncodingLayout
+
+
+def build_nn_instance(formula: CNF) -> NNInstance:
+    """Construct the Theorem 2 instance ``(C1, C2)`` for ``formula``."""
+    layout = layout_for(formula)
+    c1, layout = unique_sat_encoding_circuit(formula, layout)
+    c2 = comparison_circuit(
+        layout,
+        positive_lines=layout.variable_lines,
+        negative_lines=layout.clause_lines,
+    )
+    return NNInstance(formula, c1, c2, layout)
+
+
+def nn_witness_from_assignment(
+    instance: NNInstance, assignment: Mapping[int, bool]
+) -> MatchingResult:
+    """The N-N witnesses corresponding to a satisfying assignment.
+
+    Line ``i`` of the variable block is negated (on both sides) exactly when
+    the assignment sets variable ``i + 1`` to False; all other lines are
+    untouched.
+    """
+    layout = instance.layout
+    nu = [False] * layout.num_lines
+    for variable in range(1, layout.num_variables + 1):
+        if variable not in assignment:
+            raise MatchingError(f"assignment misses variable {variable}")
+        nu[layout.variable_line(variable)] = not assignment[variable]
+    return MatchingResult(
+        EquivalenceType.N_N,
+        nu_x=tuple(nu),
+        nu_y=tuple(nu),
+        metadata={"source": "planted-assignment"},
+    )
+
+
+def assignment_from_nn_witness(
+    instance: NNInstance, result: MatchingResult
+) -> dict[int, bool]:
+    """Decode the candidate satisfying assignment from an N-N witness.
+
+    The decoded assignment is a *candidate*: as the paper notes, it must be
+    validated by substituting it into the formula (linear time), which the
+    caller does via ``instance.formula.evaluate``.
+    """
+    nu_x = result.require_nu_x()
+    layout = instance.layout
+    return {
+        variable: not nu_x[layout.variable_line(variable)]
+        for variable in range(1, layout.num_variables + 1)
+    }
+
+
+def _witnesses_match(instance: NNInstance, mask_bits: list[bool]) -> bool:
+    """Whether negating ``mask_bits`` on both sides makes C2 equal to C1."""
+    candidate = transformed_circuit(
+        instance.c2, nu_x=mask_bits, nu_y=mask_bits
+    )
+    return candidate.functionally_equal(instance.c1)
+
+
+def decide_unique_sat_via_nn(
+    formula: CNF, exhaustive_check: bool = True
+) -> tuple[bool, dict[int, bool] | None, NNInstance]:
+    """Decide a UNIQUE-SAT instance through the N-N reduction, end to end.
+
+    Plays the role of the hypothetical N-N matcher by brute-forcing the
+    negation mask over the variable lines (2^n candidates — exponential, as
+    expected for a UNIQUE-SAT-hard problem), decoding each candidate witness
+    into an assignment and validating it against the formula.
+
+    Args:
+        formula: the CNF formula (promised to have at most one model).
+        exhaustive_check: additionally verify the successful witness by full
+            functional comparison of the two circuits (costs
+            ``2**(n+m+2)`` simulations; disable for larger instances).
+
+    Returns:
+        ``(satisfiable, assignment_or_None, instance)``.
+    """
+    instance = build_nn_instance(formula)
+    layout = instance.layout
+    for mask in range(1 << layout.num_variables):
+        nu = [False] * layout.num_lines
+        for variable in range(1, layout.num_variables + 1):
+            nu[layout.variable_line(variable)] = bool(
+                (mask >> (variable - 1)) & 1
+            )
+        candidate_result = MatchingResult(
+            EquivalenceType.N_N, nu_x=tuple(nu), nu_y=tuple(nu)
+        )
+        assignment = assignment_from_nn_witness(instance, candidate_result)
+        if not formula.evaluate(assignment):
+            continue
+        if exhaustive_check and not _witnesses_match(instance, nu):
+            continue
+        return True, assignment, instance
+    return False, None, instance

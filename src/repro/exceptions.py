@@ -1,0 +1,86 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the package derive from :class:`ReproError`, so a
+caller can catch everything library-specific with a single ``except`` clause
+while still being able to distinguish the common failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CircuitError",
+    "GateError",
+    "PermutationError",
+    "ParseError",
+    "OracleError",
+    "InverseUnavailableError",
+    "QueryBudgetExceededError",
+    "MatchingError",
+    "PromiseViolationError",
+    "UnsupportedEquivalenceError",
+    "SynthesisError",
+    "SatError",
+    "QuantumError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the package."""
+
+
+class CircuitError(ReproError):
+    """A reversible circuit was constructed or used inconsistently."""
+
+
+class GateError(CircuitError):
+    """A gate definition is invalid (e.g. target overlapping a control)."""
+
+
+class PermutationError(ReproError):
+    """A mapping that should be a permutation is not one."""
+
+
+class ParseError(ReproError):
+    """A circuit or CNF file could not be parsed."""
+
+
+class OracleError(ReproError):
+    """Misuse of a black-box oracle."""
+
+
+class InverseUnavailableError(OracleError):
+    """The inverse circuit was requested but the oracle does not expose it."""
+
+
+class QueryBudgetExceededError(OracleError):
+    """An oracle query budget was set and the algorithm exceeded it."""
+
+
+class MatchingError(ReproError):
+    """A Boolean matcher failed to produce a solution."""
+
+
+class PromiseViolationError(MatchingError):
+    """The circuits under test violate the promised equivalence.
+
+    Problem 1 of the paper is a *promise* problem: matchers may silently
+    return garbage when the promise does not hold.  Where a matcher can
+    cheaply detect the violation it raises this exception instead.
+    """
+
+
+class UnsupportedEquivalenceError(MatchingError):
+    """No polynomial algorithm exists (or is implemented) for the request."""
+
+
+class SynthesisError(ReproError):
+    """Reversible-circuit synthesis failed."""
+
+
+class SatError(ReproError):
+    """SAT substrate failure (malformed CNF, solver misuse, ...)."""
+
+
+class QuantumError(ReproError):
+    """Quantum substrate failure (dimension mismatch, invalid state, ...)."""

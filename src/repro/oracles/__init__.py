@@ -1,0 +1,39 @@
+"""Black-box oracle model.
+
+Every complexity statement in the paper (Table 1, Theorem 1) counts *oracle
+queries*: the number of times an algorithm evaluates one of the circuits on
+an input.  This package supplies the oracle wrappers in which that counting
+happens, so every matcher — the paper's and the baselines — is charged under
+exactly the same rules:
+
+* :class:`ReversibleOracle` — the abstract interface: ``query`` (and, when
+  the variant problem grants it, ``query_inverse``), plus query counters and
+  an optional query budget.
+* :class:`CircuitOracle`, :class:`PermutationOracle`,
+  :class:`FunctionOracle` — concrete oracles wrapping a circuit, a
+  permutation table, or an arbitrary bijection.
+* :func:`as_oracle` — coerce "circuit or oracle" arguments used throughout
+  the matcher API.
+* :class:`QueryStatistics` — aggregation helper used by the benchmark
+  harness.
+"""
+
+from __future__ import annotations
+
+from repro.oracles.counting import QueryStatistics
+from repro.oracles.oracle import (
+    CircuitOracle,
+    FunctionOracle,
+    PermutationOracle,
+    ReversibleOracle,
+    as_oracle,
+)
+
+__all__ = [
+    "ReversibleOracle",
+    "CircuitOracle",
+    "PermutationOracle",
+    "FunctionOracle",
+    "as_oracle",
+    "QueryStatistics",
+]

@@ -1,0 +1,253 @@
+"""Classical black-box oracles with query counting.
+
+Problem 1 of the paper hands the matcher two circuits *as black boxes*: the
+only allowed interaction is "feed an input, observe the output", and — in
+the variant problem — the same for the inverse circuit.  The classes here
+enforce that discipline and count every interaction, because the number of
+such interactions is precisely the complexity measure of Table 1.
+
+The quantum counterpart (oracles that accept superposition states) lives in
+:mod:`repro.quantum.oracle`; it shares the counting conventions so classical
+and quantum query counts are directly comparable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+
+from repro.circuits.circuit import ReversibleCircuit
+from repro.circuits.permutation import Permutation
+from repro.exceptions import (
+    InverseUnavailableError,
+    OracleError,
+    QueryBudgetExceededError,
+)
+
+__all__ = [
+    "ReversibleOracle",
+    "CircuitOracle",
+    "PermutationOracle",
+    "FunctionOracle",
+    "as_oracle",
+]
+
+
+class ReversibleOracle(ABC):
+    """Abstract black-box access to an ``n``-bit reversible function.
+
+    Args:
+        num_lines: bit width ``n`` of the hidden function.
+        with_inverse: whether :meth:`query_inverse` is allowed (the "inverse
+            circuit available" rows of Table 1).
+        max_queries: optional hard budget on the *total* number of queries
+            (forward + inverse); exceeding it raises
+            :class:`QueryBudgetExceededError`.  Used by lower-bound
+            experiments to cap runaway classical searches.
+    """
+
+    def __init__(
+        self,
+        num_lines: int,
+        with_inverse: bool = False,
+        max_queries: int | None = None,
+    ) -> None:
+        if num_lines <= 0:
+            raise OracleError(f"oracle needs at least one line, got {num_lines}")
+        self._num_lines = num_lines
+        self._with_inverse = with_inverse
+        self._max_queries = max_queries
+        self._forward_queries = 0
+        self._inverse_queries = 0
+
+    # -- interface -----------------------------------------------------------
+    @property
+    def num_lines(self) -> int:
+        """Bit width ``n`` of the hidden function."""
+        return self._num_lines
+
+    @property
+    def has_inverse(self) -> bool:
+        """Whether inverse queries are permitted."""
+        return self._with_inverse
+
+    @property
+    def query_count(self) -> int:
+        """Number of forward queries made so far."""
+        return self._forward_queries
+
+    @property
+    def inverse_query_count(self) -> int:
+        """Number of inverse queries made so far."""
+        return self._inverse_queries
+
+    @property
+    def total_queries(self) -> int:
+        """Forward plus inverse queries."""
+        return self._forward_queries + self._inverse_queries
+
+    def reset_counts(self) -> None:
+        """Reset both query counters to zero."""
+        self._forward_queries = 0
+        self._inverse_queries = 0
+
+    # -- querying --------------------------------------------------------------
+    def _charge(self) -> None:
+        if (
+            self._max_queries is not None
+            and self.total_queries >= self._max_queries
+        ):
+            raise QueryBudgetExceededError(
+                f"query budget of {self._max_queries} exhausted"
+            )
+
+    def _check_input(self, value: int) -> None:
+        if value < 0 or value >> self._num_lines:
+            raise OracleError(
+                f"query value {value} does not fit in {self._num_lines} lines"
+            )
+
+    def query(self, value: int) -> int:
+        """Evaluate the hidden function on the bit vector ``value``."""
+        self._check_input(value)
+        self._charge()
+        self._forward_queries += 1
+        return self._evaluate(value)
+
+    def query_inverse(self, value: int) -> int:
+        """Evaluate the hidden function's inverse on ``value``.
+
+        Raises :class:`InverseUnavailableError` unless the oracle was created
+        with ``with_inverse=True``.
+        """
+        if not self._with_inverse:
+            raise InverseUnavailableError(
+                "this oracle does not expose the inverse circuit"
+            )
+        self._check_input(value)
+        self._charge()
+        self._inverse_queries += 1
+        return self._evaluate_inverse(value)
+
+    # -- implementation hooks --------------------------------------------------
+    @abstractmethod
+    def _evaluate(self, value: int) -> int:
+        """Evaluate the hidden function (no counting, no checks)."""
+
+    @abstractmethod
+    def _evaluate_inverse(self, value: int) -> int:
+        """Evaluate the hidden inverse function (no counting, no checks)."""
+
+
+class CircuitOracle(ReversibleOracle):
+    """Black-box view of a :class:`ReversibleCircuit`.
+
+    The inverse, when requested, is materialised once as the reversed
+    cascade — exactly what "the inverse circuit is available" means for a
+    white-box circuit.
+    """
+
+    def __init__(
+        self,
+        circuit: ReversibleCircuit,
+        with_inverse: bool = False,
+        max_queries: int | None = None,
+    ) -> None:
+        super().__init__(circuit.num_lines, with_inverse, max_queries)
+        self._circuit = circuit
+        self._inverse_circuit = circuit.inverse() if with_inverse else None
+
+    @property
+    def circuit(self) -> ReversibleCircuit:
+        """The wrapped circuit (white-box escape hatch for verification)."""
+        return self._circuit
+
+    def _evaluate(self, value: int) -> int:
+        return self._circuit.simulate(value)
+
+    def _evaluate_inverse(self, value: int) -> int:
+        assert self._inverse_circuit is not None
+        return self._inverse_circuit.simulate(value)
+
+
+class PermutationOracle(ReversibleOracle):
+    """Black-box view of a tabulated :class:`Permutation`."""
+
+    def __init__(
+        self,
+        permutation: Permutation,
+        with_inverse: bool = False,
+        max_queries: int | None = None,
+    ) -> None:
+        super().__init__(permutation.num_bits, with_inverse, max_queries)
+        self._permutation = permutation
+        self._inverse = permutation.inverse() if with_inverse else None
+
+    @property
+    def permutation(self) -> Permutation:
+        """The wrapped permutation (white-box escape hatch for verification)."""
+        return self._permutation
+
+    def _evaluate(self, value: int) -> int:
+        return self._permutation(value)
+
+    def _evaluate_inverse(self, value: int) -> int:
+        assert self._inverse is not None
+        return self._inverse(value)
+
+
+class FunctionOracle(ReversibleOracle):
+    """Black-box view of an arbitrary Python bijection on ``range(2**n)``.
+
+    Args:
+        function: the forward mapping.
+        num_lines: bit width.
+        inverse_function: optional inverse mapping; required when
+            ``with_inverse`` is set.
+    """
+
+    def __init__(
+        self,
+        function: Callable[[int], int],
+        num_lines: int,
+        inverse_function: Callable[[int], int] | None = None,
+        with_inverse: bool = False,
+        max_queries: int | None = None,
+    ) -> None:
+        if with_inverse and inverse_function is None:
+            raise OracleError(
+                "with_inverse=True requires an explicit inverse_function"
+            )
+        super().__init__(num_lines, with_inverse, max_queries)
+        self._function = function
+        self._inverse_function = inverse_function
+
+    def _evaluate(self, value: int) -> int:
+        return self._function(value)
+
+    def _evaluate_inverse(self, value: int) -> int:
+        assert self._inverse_function is not None
+        return self._inverse_function(value)
+
+
+def as_oracle(
+    target: "ReversibleOracle | ReversibleCircuit | Permutation",
+    with_inverse: bool = False,
+    max_queries: int | None = None,
+) -> ReversibleOracle:
+    """Coerce a circuit, permutation or oracle into a :class:`ReversibleOracle`.
+
+    Existing oracles are returned unchanged (their own inverse availability
+    wins); circuits and permutations are wrapped.  Matchers call this so
+    users can pass plain circuits in example code while experiments pass
+    carefully configured oracles.
+    """
+    if isinstance(target, ReversibleOracle):
+        return target
+    if isinstance(target, ReversibleCircuit):
+        return CircuitOracle(target, with_inverse=with_inverse, max_queries=max_queries)
+    if isinstance(target, Permutation):
+        return PermutationOracle(
+            target, with_inverse=with_inverse, max_queries=max_queries
+        )
+    raise OracleError(f"cannot build an oracle from {type(target).__name__}")

@@ -1,0 +1,88 @@
+"""Linear algebra over GF(2) on bit-packed vectors.
+
+Simon's algorithm reduces period finding to solving a homogeneous linear
+system over GF(2): every measurement yields a vector ``y`` with
+``y . s = 0``, and once the collected vectors span an ``(m-1)``-dimensional
+space the hidden period ``s`` is the unique non-zero vector in their null
+space.  Vectors are packed into Python ints (bit ``i`` = coordinate ``i``),
+which keeps elimination a handful of XORs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "dot",
+    "row_echelon",
+    "rank",
+    "nullspace_basis",
+    "solve_unique_nullspace_vector",
+]
+
+
+def dot(a: int, b: int) -> int:
+    """The GF(2) inner product of two bit-packed vectors."""
+    return bin(a & b).count("1") & 1
+
+
+def row_echelon(rows: Iterable[int], width: int) -> tuple[list[int], list[int]]:
+    """Reduce ``rows`` to row-echelon form.
+
+    Returns:
+        ``(echelon_rows, pivot_columns)`` where ``echelon_rows[i]`` has its
+        leading 1 in column ``pivot_columns[i]`` (columns are bit positions,
+        processed from the most significant to the least so the result is
+        stable regardless of insertion order).
+    """
+    echelon: list[int] = []
+    pivots: list[int] = []
+    for row in rows:
+        current = row & ((1 << width) - 1)
+        for existing, pivot in zip(echelon, pivots):
+            if (current >> pivot) & 1:
+                current ^= existing
+        if current == 0:
+            continue
+        pivot = current.bit_length() - 1
+        # Back-substitute so earlier rows are clean above the new pivot.
+        for index, existing in enumerate(echelon):
+            if (existing >> pivot) & 1:
+                echelon[index] = existing ^ current
+        echelon.append(current)
+        pivots.append(pivot)
+    order = sorted(range(len(echelon)), key=lambda i: -pivots[i])
+    return [echelon[i] for i in order], [pivots[i] for i in order]
+
+
+def rank(rows: Iterable[int], width: int) -> int:
+    """The GF(2) rank of the row set."""
+    return len(row_echelon(rows, width)[0])
+
+
+def nullspace_basis(rows: Sequence[int], width: int) -> list[int]:
+    """A basis of ``{x : row . x = 0 for every row}`` as bit-packed ints."""
+    echelon, pivots = row_echelon(rows, width)
+    pivot_set = set(pivots)
+    free_columns = [column for column in range(width) if column not in pivot_set]
+    basis: list[int] = []
+    for free in free_columns:
+        vector = 1 << free
+        # Determine the pivot coordinates forced by this free choice.
+        for row, pivot in zip(echelon, pivots):
+            if dot(row, vector):
+                vector ^= 1 << pivot
+        basis.append(vector)
+    return basis
+
+
+def solve_unique_nullspace_vector(rows: Sequence[int], width: int) -> int | None:
+    """The unique non-zero null-space vector, if the null space has dimension 1.
+
+    Returns ``None`` when the null space is larger (not enough equations yet)
+    or trivial (only the zero vector — the function under test was 1-to-1).
+    """
+    basis = nullspace_basis(rows, width)
+    if len(basis) != 1:
+        return None
+    return basis[0]

@@ -1,0 +1,149 @@
+"""CNF instance generators.
+
+The Theorem 2/3 experiments need UNIQUE-SAT promise instances.  Two ways to
+get them are provided:
+
+* :func:`planted_unique_sat` plants a chosen assignment and adds clauses
+  until it is the only model (certified with the model enumerator), which is
+  fast and gives full control over size;
+* :func:`random_cnf` + :func:`repro.sat.valiant_vazirani.isolate_unique_solution`
+  follows the classical Valiant–Vazirani route from arbitrary formulas.
+
+:func:`unsatisfiable_cnf` gives matching negative instances (the "phi is
+unsatisfiable" side of the reduction's correctness).
+"""
+
+from __future__ import annotations
+
+import random as _random
+
+from repro.exceptions import SatError
+from repro.sat.cnf import CNF, Clause
+from repro.sat.solver import enumerate_models
+
+__all__ = ["random_cnf", "planted_unique_sat", "unsatisfiable_cnf"]
+
+
+def _coerce_rng(rng: _random.Random | int | None) -> _random.Random:
+    if rng is None:
+        return _random.Random()
+    if isinstance(rng, int):
+        return _random.Random(rng)
+    return rng
+
+
+def random_cnf(
+    num_variables: int,
+    num_clauses: int,
+    clause_size: int = 3,
+    rng: _random.Random | int | None = None,
+) -> CNF:
+    """A uniformly random k-CNF formula (no promise on its model count)."""
+    if clause_size > num_variables:
+        raise SatError("clause_size cannot exceed num_variables")
+    rng = _coerce_rng(rng)
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_variables + 1), clause_size)
+        literals = [
+            variable if rng.getrandbits(1) else -variable for variable in variables
+        ]
+        clauses.append(Clause(literals))
+    return CNF(clauses, num_variables)
+
+
+def planted_unique_sat(
+    num_variables: int,
+    num_clauses: int,
+    clause_size: int = 3,
+    rng: _random.Random | int | None = None,
+    max_attempts: int = 200,
+) -> tuple[CNF, dict[int, bool]]:
+    """A CNF with exactly one model, plus that model.
+
+    The generator plants a random assignment, samples random clauses
+    satisfied by it, and then adds targeted clauses that exclude any other
+    surviving model until the planted one is unique.  The uniqueness is
+    certified by model enumeration, so the returned formula genuinely meets
+    the UNIQUE-SAT promise.
+
+    Args:
+        num_variables: variable count of the returned formula.
+        num_clauses: number of *random* clauses to start from (the exclusion
+            clauses added afterwards come on top of these).
+        clause_size: literal count of the random clauses.
+        rng: seed or generator for repeatability.
+        max_attempts: bail-out bound on the exclusion loop.
+    """
+    rng = _coerce_rng(rng)
+    planted = {
+        variable: bool(rng.getrandbits(1)) for variable in range(1, num_variables + 1)
+    }
+
+    clauses: list[Clause] = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_variables + 1), min(clause_size, num_variables))
+        literals = []
+        for variable in variables:
+            # Random polarity, then force at least one literal to agree with
+            # the planted model so the clause is satisfied by it.
+            literals.append(variable if rng.getrandbits(1) else -variable)
+        if not any(
+            (literal > 0) == planted[abs(literal)] for literal in literals
+        ):
+            index = rng.randrange(len(literals))
+            variable = abs(literals[index])
+            literals[index] = variable if planted[variable] else -variable
+        clauses.append(Clause(literals))
+    formula = CNF(clauses, num_variables)
+
+    for _ in range(max_attempts):
+        other = None
+        for model in enumerate_models(formula, limit=2):
+            if model != planted:
+                other = model
+                break
+        if other is None:
+            break
+        # Exclude the spurious model with a clause it violates but the
+        # planted model satisfies: pick a variable where they differ.
+        differing = [
+            variable
+            for variable in range(1, num_variables + 1)
+            if other[variable] != planted[variable]
+        ]
+        if not differing:  # pragma: no cover - impossible: models differ
+            raise SatError("distinct models do not differ?")
+        variable = rng.choice(differing)
+        literal = variable if planted[variable] else -variable
+        formula = formula.with_clauses([[literal]])
+    else:
+        raise SatError(
+            "failed to isolate the planted assignment within max_attempts"
+        )
+    return formula, planted
+
+
+def unsatisfiable_cnf(
+    num_variables: int,
+    num_clauses: int = 0,
+    clause_size: int = 3,
+    rng: _random.Random | int | None = None,
+) -> CNF:
+    """An unsatisfiable CNF (random satisfiable-looking padding + a core).
+
+    The unsatisfiable core is the complete set of clauses over one variable
+    pair; the padding clauses make the instance look like the satisfiable
+    ones the generators above produce.
+    """
+    if num_variables < 2:
+        raise SatError("unsatisfiable_cnf needs at least two variables")
+    rng = _coerce_rng(rng)
+    padding = random_cnf(num_variables, num_clauses, clause_size, rng) if num_clauses else CNF([], num_variables)
+    core = [
+        Clause([1, 2]),
+        Clause([1, -2]),
+        Clause([-1, 2]),
+        Clause([-1, -2]),
+    ]
+    return padding.with_clauses(core)

@@ -1,0 +1,128 @@
+"""Gate-set rewrites for MCT cascades.
+
+Matching itself never needs these rewrites (the oracle model hides circuit
+structure entirely), but the surrounding synthesis flow — and the OpenQASM
+export path towards quantum toolchains — does:
+
+* :func:`remove_negative_controls` turns every negatively controlled MCT
+  gate into a positively controlled one conjugated by NOT gates.
+* :func:`to_toffoli_gate_set` expands every MCT gate with three or more
+  controls into NOT/CNOT/Toffoli gates using a standard ancilla "V-chain":
+  the result acts on additional ancilla lines that must be supplied as 0 and
+  are returned to 0.
+* :func:`to_ncv_ready_form` combines the two: positive controls only and at
+  most two controls per gate, the usual precondition for NCV/Clifford+T
+  mapping.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import ReversibleCircuit
+from repro.circuits.gates import Control, Gate, MCTGate, SwapGate, not_gate, toffoli
+from repro.exceptions import SynthesisError
+
+__all__ = [
+    "remove_negative_controls",
+    "to_toffoli_gate_set",
+    "to_ncv_ready_form",
+]
+
+
+def remove_negative_controls(circuit: ReversibleCircuit) -> ReversibleCircuit:
+    """Rewrite the circuit so every MCT control is positive.
+
+    A negative control on line ``l`` is equivalent to a positive control
+    conjugated by NOT gates on ``l``; adjacent NOT pairs produced by
+    consecutive gates are *not* cancelled here (that is an optimisation
+    concern, not a correctness one).
+    """
+    result = ReversibleCircuit(circuit.num_lines, name=circuit.name)
+    for gate in circuit:
+        if not isinstance(gate, MCTGate):
+            result.append(gate)
+            continue
+        negative_lines = [
+            control.line for control in gate.controls if not control.positive
+        ]
+        if not negative_lines:
+            result.append(gate)
+            continue
+        for line in negative_lines:
+            result.append(not_gate(line))
+        positive_controls = tuple(
+            Control(control.line, True) for control in gate.controls
+        )
+        result.append(MCTGate(positive_controls, gate.target))
+        for line in negative_lines:
+            result.append(not_gate(line))
+    return result
+
+
+def _expand_mct(
+    gate: MCTGate, ancilla_lines: list[int], output: list[Gate]
+) -> None:
+    """Expand a positive-control MCT gate with >= 3 controls into Toffolis.
+
+    Uses the AND-accumulating V-chain: ancilla ``a_0 = c_0 AND c_1``,
+    ``a_i = a_{i-1} AND c_{i+1}``, a final CNOT onto the target, then the
+    chain is uncomputed so the ancillas return to 0.
+    """
+    controls = sorted(control.line for control in gate.controls)
+    needed = len(controls) - 2
+    if needed > len(ancilla_lines):  # pragma: no cover - caller sizes ancillas
+        raise SynthesisError("not enough ancilla lines for MCT expansion")
+
+    compute: list[Gate] = []
+    compute.append(toffoli(controls[0], controls[1], ancilla_lines[0]))
+    for index in range(needed - 1):
+        compute.append(
+            toffoli(controls[index + 2], ancilla_lines[index], ancilla_lines[index + 1])
+        )
+    output.extend(compute)
+    output.append(
+        MCTGate(
+            (Control(controls[-1]), Control(ancilla_lines[needed - 1])), gate.target
+        )
+    )
+    output.extend(reversed(compute))
+
+
+def to_toffoli_gate_set(circuit: ReversibleCircuit) -> ReversibleCircuit:
+    """Expand the circuit into the {NOT, CNOT, Toffoli, SWAP} gate set.
+
+    MCT gates with three or more controls are expanded with ancilla lines
+    appended after the original lines.  The returned circuit therefore has
+    ``circuit.num_lines + a`` lines where ``a`` is the largest control count
+    minus two; the ancilla lines must be fed 0 and are restored to 0, so the
+    original function is obtained by restricting inputs/outputs to the first
+    ``circuit.num_lines`` lines.
+    """
+    positive = remove_negative_controls(circuit)
+    max_controls = max(
+        (gate.num_controls for gate in positive if isinstance(gate, MCTGate)),
+        default=0,
+    )
+    num_ancillas = max(0, max_controls - 2)
+    total_lines = circuit.num_lines + num_ancillas
+    ancilla_lines = list(range(circuit.num_lines, total_lines))
+
+    gates: list[Gate] = []
+    for gate in positive:
+        if isinstance(gate, SwapGate):
+            gates.append(gate)
+        elif isinstance(gate, MCTGate) and gate.num_controls <= 2:
+            gates.append(gate)
+        elif isinstance(gate, MCTGate):
+            _expand_mct(gate, ancilla_lines, gates)
+        else:  # pragma: no cover - defensive
+            raise SynthesisError(f"cannot expand gate {gate!r}")
+    name = f"{circuit.name}_toffoli" if circuit.name else "toffoli_form"
+    return ReversibleCircuit(total_lines, gates, name)
+
+
+def to_ncv_ready_form(circuit: ReversibleCircuit) -> ReversibleCircuit:
+    """Positive controls only, at most two controls per gate, swaps expanded.
+
+    This is the usual entry form for NCV / Clifford+T technology mapping.
+    """
+    return to_toffoli_gate_set(circuit).decomposed_swaps()

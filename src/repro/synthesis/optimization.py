@@ -1,0 +1,142 @@
+"""Peephole optimisation of MCT cascades.
+
+Transformation-based synthesis and the instance generators in this
+repository produce cascades with obvious local redundancy (adjacent
+identical self-inverse gates, NOT pairs straddling commuting gates, ...).
+This module implements the classic peephole passes used by reversible-logic
+tools:
+
+* :func:`cancel_adjacent_pairs` — remove ``G G`` pairs (every gate here is
+  an involution);
+* :func:`merge_not_gates` — cancel NOT pairs separated only by gates that
+  do not touch the line;
+* :func:`remove_trivial_gates` — drop gates that can never fire (a control
+  set containing both polarities of a line can't occur by construction, but
+  imported circuits may contain gates made trivial by constant propagation
+  hints supplied by the caller);
+* :func:`optimize` — iterate the passes to a fixed point.
+
+All passes preserve the circuit function exactly (asserted by the test
+suite on random cascades) and never increase the gate count.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import ReversibleCircuit
+from repro.circuits.gates import Gate, MCTGate
+
+__all__ = [
+    "cancel_adjacent_pairs",
+    "merge_not_gates",
+    "remove_trivial_gates",
+    "optimize",
+]
+
+
+def cancel_adjacent_pairs(circuit: ReversibleCircuit) -> ReversibleCircuit:
+    """Remove adjacent identical gates (each gate is self-inverse)."""
+    gates: list[Gate] = []
+    for gate in circuit:
+        if gates and gates[-1] == gate:
+            gates.pop()
+        else:
+            gates.append(gate)
+    return ReversibleCircuit(circuit.num_lines, gates, circuit.name)
+
+
+def _commutes_with_not(gate: Gate, line: int) -> bool:
+    """Whether a NOT on ``line`` commutes past ``gate``.
+
+    A NOT on ``line`` commutes with any gate that does not involve ``line``,
+    and with any gate whose *target* (but no control) is ``line``.
+    """
+    if line not in gate.lines:
+        return True
+    if isinstance(gate, MCTGate) and gate.target == line:
+        return line not in gate.control_lines
+    return False
+
+
+def merge_not_gates(circuit: ReversibleCircuit) -> ReversibleCircuit:
+    """Cancel NOT pairs separated by gates they commute with."""
+    gates: list[Gate] = list(circuit.gates)
+    changed = True
+    while changed:
+        changed = False
+        for index, gate in enumerate(gates):
+            if not (isinstance(gate, MCTGate) and gate.num_controls == 0):
+                continue
+            line = gate.target
+            # Scan forward for a matching NOT we can slide next to this one.
+            for ahead in range(index + 1, len(gates)):
+                other = gates[ahead]
+                if (
+                    isinstance(other, MCTGate)
+                    and other.num_controls == 0
+                    and other.target == line
+                ):
+                    del gates[ahead]
+                    del gates[index]
+                    changed = True
+                    break
+                if not _commutes_with_not(other, line):
+                    break
+            if changed:
+                break
+    return ReversibleCircuit(circuit.num_lines, gates, circuit.name)
+
+
+def remove_trivial_gates(
+    circuit: ReversibleCircuit, constant_lines: dict[int, int] | None = None
+) -> ReversibleCircuit:
+    """Drop gates that can never fire given known-constant input lines.
+
+    Args:
+        circuit: the cascade to clean.
+        constant_lines: mapping ``line -> constant value`` for lines known to
+            carry a constant that no earlier gate modifies.  Gates with a
+            control contradicting the constant are removed.  With no
+            constants the pass is the identity.
+
+    Note: the pass only uses a constant for gates that appear before any
+    gate targeting that line, so it is always function-preserving on the
+    constrained input space.
+    """
+    if not constant_lines:
+        return circuit.copy()
+    still_constant = dict(constant_lines)
+    gates: list[Gate] = []
+    for gate in circuit:
+        removable = False
+        if isinstance(gate, MCTGate):
+            for control in gate.controls:
+                if control.line in still_constant:
+                    value = still_constant[control.line]
+                    if control.is_satisfied_by(value << control.line) is False:
+                        removable = True
+                        break
+        if not removable:
+            gates.append(gate)
+        if isinstance(gate, MCTGate) and gate.target in still_constant and not removable:
+            # The line may change value from here on; stop trusting it.
+            del still_constant[gate.target]
+        elif not isinstance(gate, MCTGate):
+            for line in gate.lines:
+                still_constant.pop(line, None)
+    return ReversibleCircuit(circuit.num_lines, gates, circuit.name)
+
+
+def optimize(
+    circuit: ReversibleCircuit,
+    constant_lines: dict[int, int] | None = None,
+    max_rounds: int = 32,
+) -> ReversibleCircuit:
+    """Iterate the peephole passes until no pass removes a gate."""
+    current = remove_trivial_gates(circuit, constant_lines)
+    for _ in range(max_rounds):
+        before = current.num_gates
+        current = cancel_adjacent_pairs(current)
+        current = merge_not_gates(current)
+        if current.num_gates == before:
+            break
+    return current

@@ -1,0 +1,77 @@
+"""Unit tests for the brute-force matching baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_match, count_witness_space
+from repro.circuits.random import random_circuit
+from repro.core.equivalence import EquivalenceType
+from repro.core.verify import make_instance, verify_match
+from repro.exceptions import MatchingError
+
+
+class TestWitnessSpace:
+    def test_counts(self):
+        assert count_witness_space(EquivalenceType.I_I, 3) == 1
+        assert count_witness_space(EquivalenceType.N_I, 3) == 8
+        assert count_witness_space(EquivalenceType.P_I, 3) == 6
+        assert count_witness_space(EquivalenceType.NP_I, 3) == 8 * 6
+        assert count_witness_space(EquivalenceType.N_N, 3) == 64
+        assert count_witness_space(EquivalenceType.NP_NP, 3) == (8 * 6) ** 2
+
+    def test_matches_formula(self):
+        n = 4
+        assert count_witness_space(EquivalenceType.P_P, n) == math.factorial(n) ** 2
+
+
+class TestBruteForce:
+    @pytest.mark.parametrize("label", ["I-N", "N-I", "P-I", "N-N", "P-P"])
+    def test_finds_witnesses_for_small_instances(self, rng, label):
+        equivalence = EquivalenceType.from_label(label)
+        base = random_circuit(3, 10, rng)
+        c1, c2, _ = make_instance(base, equivalence, rng)
+        result = brute_force_match(c1, c2, equivalence, rng=rng)
+        assert verify_match(c1, c2, equivalence, result)
+        assert result.metadata["regime"] == "brute-force"
+        assert result.metadata["candidates_tried"] >= 1
+
+    def test_np_np_small_instance(self, rng):
+        base = random_circuit(2, 6, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.NP_NP, rng)
+        result = brute_force_match(c1, c2, EquivalenceType.NP_NP, rng=rng)
+        assert verify_match(c1, c2, EquivalenceType.NP_NP, result)
+
+    def test_no_witness_raises(self, rng):
+        c1 = random_circuit(3, 15, rng)
+        c2 = random_circuit(3, 15, rng)
+        if c1.functionally_equal(c2):  # pragma: no cover
+            pytest.skip("random circuits coincide")
+        # I-N offers only 8 witnesses on 3 lines; random cascades are almost
+        # surely not output-negation variants of each other.
+        with pytest.raises(MatchingError):
+            brute_force_match(c1, c2, EquivalenceType.I_N, rng=rng)
+
+    def test_candidate_budget_enforced(self, rng):
+        base = random_circuit(3, 10, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_N, rng)
+        with pytest.raises(MatchingError):
+            brute_force_match(
+                c1, c2, EquivalenceType.N_N, rng=rng, max_candidates=0
+            )
+
+    def test_width_mismatch_rejected(self, rng):
+        with pytest.raises(MatchingError):
+            brute_force_match(
+                random_circuit(3, 5, rng),
+                random_circuit(4, 5, rng),
+                EquivalenceType.I_N,
+            )
+
+    def test_query_metadata_scales_with_candidates(self, rng):
+        base = random_circuit(3, 10, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_N, rng)
+        result = brute_force_match(c1, c2, EquivalenceType.N_N, rng=rng)
+        assert result.queries >= result.metadata["candidates_tried"]

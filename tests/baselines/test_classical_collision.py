@@ -1,0 +1,50 @@
+"""Unit tests for the classical collision-search N-I baseline (Theorem 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.classical_collision import match_n_i_collision
+from repro.circuits.random import random_circuit
+from repro.core.equivalence import EquivalenceType
+from repro.core.verify import make_instance, verify_match
+from repro.exceptions import MatchingError
+
+
+class TestCollisionSearch:
+    @pytest.mark.parametrize("two_sided", [True, False])
+    def test_recovers_negation(self, rng, two_sided):
+        for _ in range(3):
+            base = random_circuit(5, 20, rng)
+            c1, c2, truth = make_instance(base, EquivalenceType.N_I, rng)
+            result = match_n_i_collision(c1, c2, rng=rng, two_sided=two_sided)
+            assert result.nu_x == truth.nu_x
+            assert verify_match(c1, c2, EquivalenceType.N_I, result)
+
+    def test_query_budget_enforced(self, rng):
+        base = random_circuit(8, 30, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_I, rng)
+        with pytest.raises(MatchingError):
+            match_n_i_collision(c1, c2, rng=rng, max_queries=2)
+
+    def test_queries_grow_exponentially_with_n(self, rng):
+        """The mean query count at n=8 clearly exceeds the one at n=4."""
+
+        def mean_queries(num_lines: int, runs: int = 10) -> float:
+            total = 0
+            for _ in range(runs):
+                base = random_circuit(num_lines, 20, rng)
+                c1, c2, _ = make_instance(base, EquivalenceType.N_I, rng)
+                result = match_n_i_collision(c1, c2, rng=rng)
+                total += result.queries
+            return total / runs
+
+        small = mean_queries(4)
+        large = mean_queries(9)
+        assert large > 2 * small
+
+    def test_metadata_labels_regime(self, rng):
+        base = random_circuit(4, 10, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_I, rng)
+        result = match_n_i_collision(c1, c2, rng=rng)
+        assert result.metadata["regime"] == "classical-collision"

@@ -1,0 +1,87 @@
+"""Unit tests for the ASCII circuit renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import library
+from repro.circuits.circuit import ReversibleCircuit
+from repro.circuits.drawing import draw
+from repro.circuits.gates import SwapGate, cnot, mct, not_gate, toffoli
+
+
+class TestDraw:
+    def test_figure2_unicode(self):
+        text = draw(library.figure2_example())
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "●" in lines[0]
+        assert "●" in lines[1]
+        assert "⊕" in lines[2]
+
+    def test_figure2_ascii(self):
+        text = draw(library.figure2_example(), ascii_only=True)
+        assert "*" in text
+        assert "+" in text
+        assert "●" not in text
+
+    def test_negative_control_glyph(self):
+        circuit = ReversibleCircuit(2, [cnot(0, 1, positive=False)])
+        text = draw(circuit)
+        assert "○" in text.splitlines()[0]
+
+    def test_swap_glyphs(self):
+        circuit = ReversibleCircuit(3, [SwapGate(0, 2)])
+        lines = draw(circuit).splitlines()
+        assert "✕" in lines[0]
+        assert "│" in lines[1]
+        assert "✕" in lines[2]
+
+    def test_bridge_through_untouched_middle_line(self):
+        circuit = ReversibleCircuit(3, [mct([0], 2)])
+        lines = draw(circuit).splitlines()
+        assert "│" in lines[1]
+
+    def test_idle_lines_are_plain_wires(self):
+        circuit = ReversibleCircuit(3, [not_gate(0)])
+        lines = draw(circuit).splitlines()
+        assert "⊕" in lines[0]
+        assert set(lines[2].split()[-1]) == {"─"}
+
+    def test_custom_labels_and_width(self):
+        circuit = ReversibleCircuit(2, [cnot(0, 1)])
+        text = draw(circuit, line_labels=["carry", "sum"])
+        lines = text.splitlines()
+        assert lines[0].startswith("carry")
+        assert lines[1].startswith("  sum")
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            draw(library.figure2_example(), line_labels=["a", "b"])
+
+    def test_empty_circuit_draws_wires_only(self):
+        text = draw(ReversibleCircuit(2))
+        assert len(text.splitlines()) == 2
+        assert "⊕" not in text
+
+    def test_one_column_per_gate(self):
+        circuit = ReversibleCircuit(2, [not_gate(0), not_gate(1), cnot(0, 1)])
+        top = draw(circuit, column_spacing=1).splitlines()[0]
+        # Three gate columns: NOT target, wire, control.
+        assert top.count("⊕") == 1
+        assert top.count("●") == 1
+
+
+class TestDrawnGateOrdering:
+    def test_columns_follow_application_order(self):
+        circuit = ReversibleCircuit(2, [not_gate(0), cnot(0, 1)])
+        lines = draw(circuit).splitlines()
+        first_gate_column = lines[0].index("⊕")
+        second_gate_column = lines[0].index("●")
+        assert first_gate_column < second_gate_column
+
+    def test_toffoli_column_spans_all_three_lines(self):
+        lines = draw(ReversibleCircuit(3, [toffoli(0, 2, 1)])).splitlines()
+        column = lines[0].index("●")
+        assert lines[1][column] == "⊕"
+        assert lines[2][column] == "●"

@@ -1,0 +1,107 @@
+"""Unit tests for the RevLib .real reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.gates import MCTGate, SwapGate
+from repro.circuits.io.real import circuit_to_real, parse_real, read_real, write_real
+from repro.circuits.random import random_circuit
+from repro.exceptions import ParseError
+
+EXAMPLE = """
+# toffoli example
+.version 2.0
+.numvars 3
+.variables a b c
+.inputs a b c
+.outputs a b c
+.constants ---
+.garbage ---
+.begin
+t3 a b c
+t1 a
+t2 -a b
+f2 b c
+.end
+"""
+
+
+class TestParsing:
+    def test_parse_example(self):
+        circuit = parse_real(EXAMPLE)
+        assert circuit.num_lines == 3
+        assert circuit.num_gates == 4
+        assert isinstance(circuit.gates[0], MCTGate)
+        assert circuit.gates[0].num_controls == 2
+        assert isinstance(circuit.gates[3], SwapGate)
+
+    def test_negative_control_parsed(self):
+        circuit = parse_real(EXAMPLE)
+        gate = circuit.gates[2]
+        control = gate.controls[0]
+        assert control.line == 0
+        assert not control.positive
+
+    def test_variables_inferred_from_numvars(self):
+        circuit = parse_real(".numvars 2\n.begin\nt1 x1\n.end\n")
+        assert circuit.num_lines == 2
+
+    def test_numvars_inferred_from_variables(self):
+        circuit = parse_real(".variables p q r\n.begin\nt1 r\n.end\n")
+        assert circuit.num_lines == 3
+
+    def test_missing_headers_rejected(self):
+        with pytest.raises(ParseError):
+            parse_real(".begin\nt1 a\n.end\n")
+
+    def test_gate_outside_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse_real(".numvars 1\nt1 x0\n")
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_real(".numvars 1\n.variables a\n.begin\nt1 z\n.end\n")
+
+    def test_unknown_gate_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_real(".numvars 1\n.variables a\n.begin\nq1 a\n.end\n")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_real(".numvars 2\n.variables a b\n.begin\nt3 a b\n.end\n")
+
+    def test_numvars_variables_conflict_rejected(self):
+        with pytest.raises(ParseError):
+            parse_real(".numvars 3\n.variables a b\n.begin\n.end\n")
+
+    def test_controlled_fredkin_expanded(self):
+        circuit = parse_real(
+            ".numvars 3\n.variables a b c\n.begin\nf3 a b c\n.end\n"
+        )
+        # Controlled swap: control a, swap b and c.
+        assert circuit.simulate(0b011) == 0b101
+        assert circuit.simulate(0b010) == 0b010
+
+
+class TestRoundTrip:
+    def test_serialise_parse_roundtrip(self, rng):
+        for _ in range(5):
+            circuit = random_circuit(5, 15, rng)
+            restored = parse_real(circuit_to_real(circuit))
+            assert restored.functionally_equal(circuit)
+
+    def test_swap_survives_roundtrip(self):
+        from repro.circuits.circuit import ReversibleCircuit
+
+        circuit = ReversibleCircuit(3, [SwapGate(0, 2)])
+        restored = parse_real(circuit_to_real(circuit))
+        assert restored.functionally_equal(circuit)
+
+    def test_file_roundtrip(self, tmp_path, rng):
+        circuit = random_circuit(4, 10, rng)
+        path = tmp_path / "example.real"
+        write_real(circuit, path)
+        restored = read_real(path)
+        assert restored.functionally_equal(circuit)
+        assert restored.name == "example"

@@ -1,0 +1,89 @@
+"""Unit tests for the extended benchmark-function library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits import parity
+from repro.circuits import library
+from repro.exceptions import CircuitError
+
+
+class TestMultiplier:
+    def test_two_bit_multiplier_accumulates_product(self):
+        circuit = library.multiplier(2)
+        assert circuit.num_lines == 8
+        for a in range(4):
+            for b in range(4):
+                for p in range(4):  # a few accumulator presets
+                    value = a | (b << 2) | (p << 4)
+                    output = circuit.simulate(value)
+                    assert output & 0b11 == a
+                    assert (output >> 2) & 0b11 == b
+                    assert output >> 4 == (p + a * b) % 16
+
+    def test_one_bit_multiplier_is_a_toffoli_like_accumulator(self):
+        circuit = library.multiplier(1)
+        # (a, b, p) -> (a, b, p + a*b mod 4) on 4 lines.
+        assert circuit.simulate(0b0011) == 0b0111
+        assert circuit.simulate(0b0001) == 0b0001
+
+    def test_multiplier_is_reversible(self):
+        table = library.multiplier(1).truth_table()
+        assert sorted(table) == list(range(16))
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(CircuitError):
+            library.multiplier(0)
+
+
+class TestParityAccumulator:
+    def test_parity_lands_on_line_zero(self):
+        circuit = library.parity_accumulator(5)
+        for value in range(32):
+            output = circuit.simulate(value)
+            assert output & 1 == parity(value)
+            assert output >> 1 == value >> 1
+
+    def test_single_line_is_identity(self):
+        assert library.parity_accumulator(1).is_identity()
+
+
+class TestFredkinStage:
+    def test_swaps_pairs_when_control_set(self):
+        circuit = library.fredkin_stage(5)
+        # control = line 0; pairs (1,2) and (3,4).
+        assert circuit.simulate(0b00011) == 0b00101
+        assert circuit.simulate(0b01001) == 0b10001
+
+    def test_identity_when_control_clear(self):
+        circuit = library.fredkin_stage(5)
+        for value in range(0, 32, 2):  # control bit clear
+            assert circuit.simulate(value) == value
+
+    def test_odd_trailing_line_untouched(self):
+        circuit = library.fredkin_stage(4)
+        assert circuit.simulate(0b1001) == 0b1001
+
+    def test_needs_three_lines(self):
+        with pytest.raises(CircuitError):
+            library.fredkin_stage(2)
+
+
+class TestCatalogueExtensions:
+    def test_new_entries_present(self):
+        entries = library.catalogue(4)
+        assert "parity" in entries
+        assert "fredkin_stage" in entries
+        assert "multiplier" in entries
+
+    def test_multiplier_only_on_multiples_of_four(self):
+        assert "multiplier" not in library.catalogue(6)
+
+    def test_all_entries_still_valid(self):
+        for name, factory in library.catalogue(8).items():
+            circuit = factory()
+            assert circuit.num_lines == 8, name
+            # spot-check reversibility on a sample of inputs
+            outputs = {circuit.simulate(value) for value in range(0, 256, 17)}
+            assert len(outputs) == len(range(0, 256, 17)), name

@@ -1,0 +1,88 @@
+"""Unit tests for the circuit cost metrics."""
+
+from __future__ import annotations
+
+from repro.circuits import library
+from repro.circuits.circuit import ReversibleCircuit
+from repro.circuits.gates import SwapGate, cnot, mct, not_gate, toffoli
+from repro.circuits.metrics import depth, metrics, quantum_cost, t_count_estimate
+
+
+class TestQuantumCost:
+    def test_not_and_cnot_cost_one(self):
+        circuit = ReversibleCircuit(2, [not_gate(0), cnot(0, 1)])
+        assert quantum_cost(circuit) == 2
+
+    def test_toffoli_costs_five(self):
+        assert quantum_cost(ReversibleCircuit(3, [toffoli(0, 1, 2)])) == 5
+
+    def test_swap_costs_three(self):
+        assert quantum_cost(ReversibleCircuit(2, [SwapGate(0, 1)])) == 3
+
+    def test_large_mct_table(self):
+        circuit = ReversibleCircuit(5, [mct([0, 1, 2, 3], 4)])
+        assert quantum_cost(circuit) == (1 << 5) - 3
+
+    def test_empty_circuit_costs_zero(self):
+        assert quantum_cost(ReversibleCircuit(3)) == 0
+
+
+class TestTCount:
+    def test_clifford_gates_cost_zero(self):
+        circuit = ReversibleCircuit(3, [not_gate(0), cnot(0, 1), SwapGate(1, 2)])
+        assert t_count_estimate(circuit) == 0
+
+    def test_toffoli_costs_seven(self):
+        assert t_count_estimate(ReversibleCircuit(3, [toffoli(0, 1, 2)])) == 7
+
+    def test_four_control_mct(self):
+        circuit = ReversibleCircuit(5, [mct([0, 1, 2, 3], 4)])
+        # V-chain uses 2*(4-2)+1 = 5 Toffoli-equivalents.
+        assert t_count_estimate(circuit) == 35
+
+
+class TestDepth:
+    def test_disjoint_gates_run_in_parallel(self):
+        circuit = ReversibleCircuit(4, [not_gate(0), not_gate(1), cnot(2, 3)])
+        assert depth(circuit) == 1
+
+    def test_dependent_gates_stack(self):
+        circuit = ReversibleCircuit(3, [cnot(0, 1), cnot(1, 2), cnot(0, 1)])
+        assert depth(circuit) == 3
+
+    def test_empty_circuit_has_zero_depth(self):
+        assert depth(ReversibleCircuit(2)) == 0
+
+    def test_depth_never_exceeds_gate_count(self, rng):
+        from repro.circuits.random import random_circuit
+
+        circuit = random_circuit(5, 25, rng)
+        assert depth(circuit) <= circuit.num_gates
+
+
+class TestMetricsBundle:
+    def test_figure2_metrics(self):
+        report = metrics(library.figure2_example())
+        assert report.num_lines == 3
+        assert report.gate_count == 1
+        assert report.quantum_cost == 5
+        assert report.t_count == 7
+        assert report.depth == 1
+        assert report.max_controls == 2
+        assert report.ancillas_for_toffoli_form == 0
+
+    def test_as_dict_keys(self):
+        report = metrics(library.increment(4)).as_dict()
+        assert set(report) == {
+            "lines",
+            "gates",
+            "quantum_cost",
+            "t_count",
+            "depth",
+            "max_controls",
+            "ancillas",
+        }
+
+    def test_ancilla_estimate(self):
+        circuit = ReversibleCircuit(6, [mct([0, 1, 2, 3, 4], 5)])
+        assert metrics(circuit).ancillas_for_toffoli_form == 3

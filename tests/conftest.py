@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuits import library
+from repro.circuits.circuit import ReversibleCircuit
+from repro.circuits.random import random_circuit
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random generator; reseeded per test."""
+    return random.Random(20240612)
+
+
+@pytest.fixture
+def toffoli_circuit() -> ReversibleCircuit:
+    """The Fig. 2 example circuit (a single Toffoli on 3 lines)."""
+    return library.figure2_example()
+
+
+@pytest.fixture
+def small_random_circuit(rng: random.Random) -> ReversibleCircuit:
+    """A generic 4-line random MCT cascade."""
+    return random_circuit(4, 16, rng, name="small_random")
+
+
+@pytest.fixture
+def medium_random_circuit(rng: random.Random) -> ReversibleCircuit:
+    """A generic 6-line random MCT cascade."""
+    return random_circuit(6, 30, rng, name="medium_random")

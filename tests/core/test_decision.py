@@ -1,0 +1,88 @@
+"""Unit tests for the non-promise decision procedure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.random import random_circuit
+from repro.core import EquivalenceType, make_instance
+from repro.core.decision import decide
+from repro.exceptions import UnsupportedEquivalenceError
+
+
+class TestPositiveInstances:
+    @pytest.mark.parametrize("label", ["I-N", "I-P", "P-I", "P-N", "NP-I", "N-I"])
+    def test_equivalent_circuits_accepted_with_witnesses(self, rng, label):
+        equivalence = EquivalenceType.from_label(label)
+        base = random_circuit(4, 15, rng)
+        c1, c2, _ = make_instance(base, equivalence, rng)
+        outcome = decide(c1, c2, equivalence, rng=rng, epsilon=1e-4)
+        assert outcome.equivalent
+        assert outcome.result is not None
+        assert outcome.exhaustive
+
+    def test_string_labels_accepted(self, rng):
+        base = random_circuit(3, 10, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.I_N, rng)
+        assert decide(c1, c2, "i-n", rng=rng).equivalent
+
+
+class TestNegativeInstances:
+    @pytest.mark.parametrize("label", ["I-N", "P-I", "NP-I", "N-I"])
+    def test_unrelated_circuits_rejected(self, rng, label):
+        equivalence = EquivalenceType.from_label(label)
+        c1 = random_circuit(4, 25, rng)
+        c2 = random_circuit(4, 25, rng)
+        outcome = decide(c1, c2, equivalence, rng=rng, epsilon=1e-4)
+        # Random cascades are (overwhelmingly) not equivalent under these
+        # restricted classes; the matcher's candidate must fail validation.
+        assert not outcome.equivalent
+
+    def test_width_mismatch_rejected_immediately(self, rng):
+        outcome = decide(
+            random_circuit(3, 5, rng),
+            random_circuit(4, 5, rng),
+            EquivalenceType.I_N,
+        )
+        assert not outcome.equivalent
+        assert outcome.result is None
+
+
+class TestHardClasses:
+    def test_hard_class_requires_opt_in(self, rng):
+        base = random_circuit(3, 10, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_N, rng)
+        with pytest.raises(UnsupportedEquivalenceError):
+            decide(c1, c2, EquivalenceType.N_N)
+
+    def test_hard_class_with_brute_force_positive(self, rng):
+        base = random_circuit(3, 10, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_N, rng)
+        outcome = decide(c1, c2, EquivalenceType.N_N, allow_brute_force=True, rng=rng)
+        assert outcome.equivalent
+        assert outcome.result is not None
+
+    def test_hard_class_with_brute_force_negative(self, rng):
+        c1 = random_circuit(3, 20, rng)
+        c2 = random_circuit(3, 20, rng)
+        if c1.functionally_equal(c2):  # pragma: no cover
+            pytest.skip("random circuits coincide")
+        outcome = decide(c1, c2, EquivalenceType.I_N, rng=rng)
+        assert not outcome.equivalent
+
+
+class TestValidationModes:
+    def test_sampled_validation_for_wide_circuits(self, rng):
+        base = random_circuit(5, 20, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.P_I, rng)
+        outcome = decide(
+            c1, c2, EquivalenceType.P_I, rng=rng, exhaustive_validation=False
+        )
+        assert outcome.equivalent
+        assert not outcome.exhaustive
+
+    def test_quantum_can_be_disabled(self, rng):
+        base = random_circuit(4, 12, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_I, rng)
+        with pytest.raises(UnsupportedEquivalenceError):
+            decide(c1, c2, EquivalenceType.N_I, allow_quantum=False)

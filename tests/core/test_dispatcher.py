@@ -1,0 +1,85 @@
+"""Unit tests for the top-level match() dispatcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.random import random_circuit
+from repro.core import EquivalenceType, match, make_instance, verify_match
+from repro.exceptions import UnsupportedEquivalenceError
+from repro.oracles import CircuitOracle
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "label",
+        ["I-I", "I-N", "I-P", "I-NP", "P-I", "P-N", "N-I", "NP-I"],
+    )
+    def test_tractable_classes_without_inverse(self, rng, label):
+        equivalence = EquivalenceType.from_label(label)
+        base = random_circuit(4, 15, rng)
+        c1, c2, _ = make_instance(base, equivalence, rng)
+        result = match(c1, c2, equivalence, rng=rng, epsilon=1e-4)
+        assert result.equivalence is equivalence
+        assert verify_match(c1, c2, equivalence, result)
+
+    @pytest.mark.parametrize(
+        "label", ["I-P", "P-I", "P-N", "N-P", "N-I", "NP-I", "I-NP"]
+    )
+    def test_tractable_classes_with_inverse(self, rng, label):
+        equivalence = EquivalenceType.from_label(label)
+        base = random_circuit(5, 20, rng)
+        c1, c2, _ = make_instance(base, equivalence, rng)
+        o1 = CircuitOracle(c1, with_inverse=True)
+        o2 = CircuitOracle(c2, with_inverse=True)
+        result = match(o1, o2, equivalence, rng=rng)
+        assert verify_match(c1, c2, equivalence, result)
+
+    def test_accepts_string_labels(self, rng):
+        base = random_circuit(4, 15, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.I_N, rng)
+        result = match(c1, c2, "i-n")
+        assert result.equivalence is EquivalenceType.I_N
+
+    def test_hard_classes_raise(self, rng):
+        base = random_circuit(3, 10, rng)
+        for label in ("N-N", "P-P", "NP-NP", "N-NP", "NP-N", "NP-P", "P-NP"):
+            equivalence = EquivalenceType.from_label(label)
+            c1, c2, _ = make_instance(base, equivalence, rng)
+            with pytest.raises(UnsupportedEquivalenceError):
+                match(c1, c2, equivalence)
+
+    def test_n_p_without_both_inverses_raises(self, rng):
+        base = random_circuit(4, 12, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_P, rng)
+        with pytest.raises(UnsupportedEquivalenceError):
+            match(c1, c2, EquivalenceType.N_P)
+
+    def test_n_i_without_inverse_and_without_quantum_raises(self, rng):
+        base = random_circuit(4, 12, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_I, rng)
+        with pytest.raises(UnsupportedEquivalenceError):
+            match(c1, c2, EquivalenceType.N_I, allow_quantum=False)
+
+    def test_n_i_quantum_path_reports_quantum_queries(self, rng):
+        base = random_circuit(4, 12, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_I, rng)
+        result = match(c1, c2, EquivalenceType.N_I, rng=rng)
+        assert result.quantum_queries > 0
+        assert result.queries == 0
+
+    def test_n_i_classical_path_used_when_inverse_available(self, rng):
+        base = random_circuit(4, 12, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_I, rng)
+        o2 = CircuitOracle(c2, with_inverse=True)
+        result = match(c1, o2, EquivalenceType.N_I)
+        assert result.quantum_queries == 0
+        assert result.queries == 2
+
+    def test_seeded_matching_is_reproducible(self, rng):
+        base = random_circuit(5, 20, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.I_NP, rng)
+        first = match(c1, c2, EquivalenceType.I_NP, rng=123)
+        second = match(c1, c2, EquivalenceType.I_NP, rng=123)
+        assert first.nu_y == second.nu_y
+        assert first.pi_y == second.pi_y

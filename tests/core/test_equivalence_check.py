@@ -1,0 +1,100 @@
+"""Unit tests for the equivalence checkers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.circuit import ReversibleCircuit
+from repro.circuits.gates import not_gate
+from repro.circuits.random import random_circuit
+from repro.core.equivalence_check import (
+    exhaustive_equivalent,
+    find_distinguishing_input,
+    oracle_equivalent,
+    random_equivalent,
+)
+from repro.exceptions import MatchingError
+from repro.oracles import CircuitOracle
+
+
+class TestExhaustive:
+    def test_identical_circuits(self, rng):
+        circuit = random_circuit(4, 15, rng)
+        assert exhaustive_equivalent(circuit, circuit.copy())
+
+    def test_resynthesised_circuit_is_equivalent(self, rng):
+        from repro.circuits.permutation import Permutation
+        from repro.synthesis import synthesize
+
+        circuit = random_circuit(4, 15, rng)
+        assert exhaustive_equivalent(circuit, synthesize(Permutation.from_circuit(circuit)))
+
+    def test_different_circuits(self):
+        identity = ReversibleCircuit(3)
+        flipped = ReversibleCircuit(3, [not_gate(2)])
+        assert not exhaustive_equivalent(identity, flipped)
+
+    def test_width_mismatch(self):
+        assert not exhaustive_equivalent(ReversibleCircuit(2), ReversibleCircuit(3))
+
+
+class TestDistinguishingInput:
+    def test_none_for_equal_circuits(self, rng):
+        circuit = random_circuit(3, 10, rng)
+        assert find_distinguishing_input(circuit, circuit.copy()) is None
+
+    def test_counterexample_really_distinguishes(self, rng):
+        c1 = random_circuit(4, 15, rng)
+        c2 = random_circuit(4, 15, rng)
+        witness = find_distinguishing_input(c1, c2)
+        if witness is None:
+            assert exhaustive_equivalent(c1, c2)
+        else:
+            assert c1.simulate(witness) != c2.simulate(witness)
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(MatchingError):
+            find_distinguishing_input(ReversibleCircuit(2), ReversibleCircuit(3))
+
+
+class TestRandomised:
+    def test_equal_circuits_always_pass(self, rng):
+        circuit = random_circuit(5, 20, rng)
+        assert random_equivalent(circuit, circuit.copy(), samples=64, rng=rng)
+
+    def test_very_different_circuits_fail(self, rng):
+        identity = ReversibleCircuit(5)
+        scrambled = random_circuit(5, 30, rng)
+        if exhaustive_equivalent(identity, scrambled):  # pragma: no cover
+            pytest.skip("random circuit happened to be the identity")
+        assert not random_equivalent(identity, scrambled, samples=256, rng=rng)
+
+    def test_width_mismatch(self, rng):
+        assert not random_equivalent(
+            ReversibleCircuit(2), ReversibleCircuit(3), rng=rng
+        )
+
+
+class TestOracleCheck:
+    def test_counts_queries(self, rng):
+        circuit = random_circuit(4, 15, rng)
+        o1 = CircuitOracle(circuit)
+        o2 = CircuitOracle(circuit.copy())
+        assert oracle_equivalent(o1, o2, samples=16, rng=rng)
+        assert o1.query_count == o2.query_count > 0
+
+    def test_structured_probes_catch_negation_quickly(self, rng):
+        circuit = random_circuit(4, 15, rng)
+        negated = ReversibleCircuit(4, [not_gate(0)]).then(circuit)
+        o1 = CircuitOracle(circuit)
+        o2 = CircuitOracle(negated)
+        assert not oracle_equivalent(o1, o2, samples=0, rng=rng)
+
+    def test_accepts_plain_circuits(self, rng):
+        circuit = random_circuit(3, 10, rng)
+        assert oracle_equivalent(circuit, circuit.copy(), samples=8, rng=rng)
+
+    def test_width_mismatch(self, rng):
+        assert not oracle_equivalent(
+            ReversibleCircuit(2), ReversibleCircuit(3), rng=rng
+        )

@@ -1,0 +1,97 @@
+"""Unit tests for the Theorem 2 reduction (UNIQUE-SAT -> N-N matching)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.equivalence import EquivalenceType
+from repro.core.hardness.nn_reduction import (
+    assignment_from_nn_witness,
+    build_nn_instance,
+    decide_unique_sat_via_nn,
+    nn_witness_from_assignment,
+)
+from repro.core.verify import verify_match
+from repro.exceptions import MatchingError
+from repro.sat.generators import planted_unique_sat, unsatisfiable_cnf
+
+
+class TestInstanceConstruction:
+    def test_polynomial_size(self, rng):
+        formula, _ = planted_unique_sat(4, 5, rng=rng)
+        instance = build_nn_instance(formula)
+        assert instance.c1.num_gates == 8 * formula.num_clauses + 4
+        assert instance.c2.num_gates == 1
+        assert instance.c1.num_lines == formula.num_variables + formula.num_clauses + 2
+        assert instance.c2.num_lines == instance.c1.num_lines
+
+
+class TestWitnessEncoding:
+    def test_planted_model_gives_valid_nn_witness(self, rng):
+        formula, model = planted_unique_sat(3, 4, rng=rng)
+        instance = build_nn_instance(formula)
+        witness = nn_witness_from_assignment(instance, model)
+        assert verify_match(instance.c1, instance.c2, EquivalenceType.N_N, witness)
+
+    def test_witness_negates_exactly_the_false_variables(self, rng):
+        formula, model = planted_unique_sat(3, 4, rng=rng)
+        instance = build_nn_instance(formula)
+        witness = nn_witness_from_assignment(instance, model)
+        for variable, value in model.items():
+            line = instance.layout.variable_line(variable)
+            assert witness.nu_x[line] == (not value)
+        for line in instance.layout.clause_lines:
+            assert not witness.nu_x[line]
+
+    def test_decoding_inverts_encoding(self, rng):
+        formula, model = planted_unique_sat(4, 5, rng=rng)
+        instance = build_nn_instance(formula)
+        witness = nn_witness_from_assignment(instance, model)
+        assert assignment_from_nn_witness(instance, witness) == model
+
+    def test_incomplete_assignment_rejected(self, rng):
+        formula, model = planted_unique_sat(3, 4, rng=rng)
+        instance = build_nn_instance(formula)
+        partial = dict(model)
+        partial.pop(1)
+        with pytest.raises(MatchingError):
+            nn_witness_from_assignment(instance, partial)
+
+
+class TestDecisionProcedure:
+    def test_satisfiable_instance_recovers_planted_model(self, rng):
+        formula, model = planted_unique_sat(3, 4, rng=rng)
+        satisfiable, assignment, _ = decide_unique_sat_via_nn(formula)
+        assert satisfiable
+        assert assignment == model
+
+    def test_unsatisfiable_instance_reports_unsat(self, rng):
+        formula = unsatisfiable_cnf(3, 2, rng=rng)
+        satisfiable, assignment, _ = decide_unique_sat_via_nn(formula)
+        assert not satisfiable
+        assert assignment is None
+
+    def test_skipping_exhaustive_check_still_correct(self, rng):
+        formula, model = planted_unique_sat(3, 3, rng=rng)
+        satisfiable, assignment, _ = decide_unique_sat_via_nn(
+            formula, exhaustive_check=False
+        )
+        assert satisfiable
+        assert assignment == model
+
+    def test_wrong_negations_do_not_match(self, rng):
+        """Flipping the witness on a variable line breaks the equivalence."""
+        formula, model = planted_unique_sat(3, 4, rng=rng)
+        instance = build_nn_instance(formula)
+        witness = nn_witness_from_assignment(instance, model)
+        broken = list(witness.nu_x)
+        line = instance.layout.variable_line(1)
+        broken[line] = not broken[line]
+        from repro.core.problem import MatchingResult
+
+        broken_witness = MatchingResult(
+            EquivalenceType.N_N, nu_x=tuple(broken), nu_y=tuple(broken)
+        )
+        assert not verify_match(
+            instance.c1, instance.c2, EquivalenceType.N_N, broken_witness
+        )

@@ -1,0 +1,259 @@
+"""Unit tests for the classical polynomial matchers (Section 4).
+
+Each matcher is exercised on randomly generated promised-equivalent
+instances over a mix of base circuits; results are validated semantically
+with :func:`verify_match` and the query counts are checked against the
+Table 1 bounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuits import library
+from repro.circuits.random import random_circuit
+from repro.core.equivalence import EquivalenceType
+from repro.core.matchers import (
+    match_i_i,
+    match_i_n,
+    match_i_np,
+    match_i_p,
+    match_n_i,
+    match_n_p,
+    match_np_i,
+    match_p_i,
+    match_p_n,
+)
+from repro.core.verify import make_instance, verify_match
+from repro.exceptions import PromiseViolationError, UnsupportedEquivalenceError
+from repro.oracles import CircuitOracle
+
+
+def oracles_for(c1, c2, with_inverse):
+    return (
+        CircuitOracle(c1, with_inverse=with_inverse),
+        CircuitOracle(c2, with_inverse=with_inverse),
+    )
+
+
+def base_circuits(rng, num_lines=5):
+    """A small workload mix: one structured circuit plus random cascades."""
+    circuits = [random_circuit(num_lines, 20, rng) for _ in range(2)]
+    circuits.append(library.increment(num_lines))
+    return circuits
+
+
+class TestMatchII:
+    def test_no_witnesses_and_no_queries(self, rng):
+        base = random_circuit(4, 10, rng)
+        result = match_i_i(base, base.copy())
+        assert result.queries == 0
+        assert result.nu_x is None and result.pi_y is None
+
+    def test_spot_checks_catch_promise_violation(self, rng):
+        c1 = random_circuit(4, 20, rng)
+        c2 = random_circuit(4, 20, rng)
+        if c1.functionally_equal(c2):  # pragma: no cover - vanishing probability
+            pytest.skip("random circuits happened to coincide")
+        with pytest.raises(PromiseViolationError):
+            match_i_i(c1, c2, spot_checks=32, rng=rng)
+
+
+class TestMatchIN:
+    @pytest.mark.parametrize("with_inverse", [True, False])
+    def test_recovers_negation(self, rng, with_inverse):
+        for base in base_circuits(rng):
+            c1, c2, truth = make_instance(base, EquivalenceType.I_N, rng)
+            o1, o2 = oracles_for(c1, c2, with_inverse)
+            result = match_i_n(o1, o2)
+            assert verify_match(c1, c2, EquivalenceType.I_N, result)
+            assert result.nu_y == truth.nu_y
+            assert result.queries == 2  # O(1): one query per oracle
+
+
+class TestMatchIP:
+    def test_with_inverse_uses_log_n_queries(self, rng):
+        for base in base_circuits(rng, num_lines=6):
+            c1, c2, _ = make_instance(base, EquivalenceType.I_P, rng)
+            o1, o2 = oracles_for(c1, c2, True)
+            result = match_i_p(o1, o2)
+            assert verify_match(c1, c2, EquivalenceType.I_P, result)
+            assert result.queries <= 2 * math.ceil(math.log2(6))
+
+    def test_without_inverse_randomised(self, rng):
+        for base in base_circuits(rng, num_lines=6):
+            c1, c2, _ = make_instance(base, EquivalenceType.I_P, rng)
+            o1, o2 = oracles_for(c1, c2, False)
+            result = match_i_p(o1, o2, epsilon=1e-4, rng=rng)
+            assert verify_match(c1, c2, EquivalenceType.I_P, result)
+            assert result.metadata["regime"] == "classical-randomized"
+
+    def test_only_c1_inverse_available(self, rng):
+        base = random_circuit(5, 20, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.I_P, rng)
+        o1 = CircuitOracle(c1, with_inverse=True)
+        o2 = CircuitOracle(c2, with_inverse=False)
+        result = match_i_p(o1, o2)
+        assert verify_match(c1, c2, EquivalenceType.I_P, result)
+
+    def test_single_line_circuit(self, rng):
+        base = random_circuit(1, 3, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.I_P, rng)
+        result = match_i_p(*oracles_for(c1, c2, False), rng=rng)
+        assert verify_match(c1, c2, EquivalenceType.I_P, result)
+
+
+class TestMatchINP:
+    @pytest.mark.parametrize("with_inverse", [True, False])
+    def test_recovers_negation_and_permutation(self, rng, with_inverse):
+        for base in base_circuits(rng):
+            c1, c2, _ = make_instance(base, EquivalenceType.I_NP, rng)
+            o1, o2 = oracles_for(c1, c2, with_inverse)
+            result = match_i_np(o1, o2, epsilon=1e-4, rng=rng)
+            assert verify_match(c1, c2, EquivalenceType.I_NP, result)
+
+    def test_only_c1_inverse_available(self, rng):
+        base = random_circuit(5, 20, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.I_NP, rng)
+        o1 = CircuitOracle(c1, with_inverse=True)
+        o2 = CircuitOracle(c2, with_inverse=False)
+        result = match_i_np(o1, o2)
+        assert verify_match(c1, c2, EquivalenceType.I_NP, result)
+
+    def test_query_count_with_inverse(self, rng):
+        base = random_circuit(6, 25, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.I_NP, rng)
+        result = match_i_np(*oracles_for(c1, c2, True))
+        # One all-zero probe plus ceil(log2 n) pattern probes, two oracle
+        # queries each.
+        assert result.queries <= 2 * (1 + math.ceil(math.log2(6)))
+
+
+class TestMatchPI:
+    @pytest.mark.parametrize("with_inverse", [True, False])
+    def test_recovers_permutation(self, rng, with_inverse):
+        for base in base_circuits(rng):
+            c1, c2, _ = make_instance(base, EquivalenceType.P_I, rng)
+            o1, o2 = oracles_for(c1, c2, with_inverse)
+            result = match_p_i(o1, o2)
+            assert verify_match(c1, c2, EquivalenceType.P_I, result)
+
+    def test_one_hot_regime_uses_linear_queries(self, rng):
+        base = random_circuit(7, 25, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.P_I, rng)
+        result = match_p_i(*oracles_for(c1, c2, False))
+        assert result.metadata["regime"] == "classical-onehot"
+        assert result.queries == 2 * 7
+
+    def test_inverse_regime_uses_log_queries(self, rng):
+        base = random_circuit(7, 25, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.P_I, rng)
+        result = match_p_i(*oracles_for(c1, c2, True))
+        assert result.queries <= 2 * math.ceil(math.log2(7))
+
+    def test_only_c1_inverse_available(self, rng):
+        base = random_circuit(5, 15, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.P_I, rng)
+        o1 = CircuitOracle(c1, with_inverse=True)
+        o2 = CircuitOracle(c2, with_inverse=False)
+        result = match_p_i(o1, o2)
+        assert verify_match(c1, c2, EquivalenceType.P_I, result)
+
+    def test_promise_violation_detected_without_inverse(self, rng):
+        c1 = random_circuit(4, 20, rng)
+        c2 = random_circuit(4, 20, rng)
+        # Random cascades are almost surely not P-I equivalent; the one-hot
+        # outputs then fail to pair up.
+        try:
+            result = match_p_i(*oracles_for(c1, c2, False))
+        except PromiseViolationError:
+            return
+        assert not verify_match(c1, c2, EquivalenceType.P_I, result)
+
+
+class TestMatchPN:
+    @pytest.mark.parametrize("with_inverse", [True, False])
+    def test_recovers_both_witnesses(self, rng, with_inverse):
+        for base in base_circuits(rng):
+            c1, c2, _ = make_instance(base, EquivalenceType.P_N, rng)
+            o1, o2 = oracles_for(c1, c2, with_inverse)
+            result = match_p_n(o1, o2)
+            assert verify_match(c1, c2, EquivalenceType.P_N, result)
+
+    def test_query_count_without_inverse_is_linear(self, rng):
+        base = random_circuit(6, 25, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.P_N, rng)
+        result = match_p_n(*oracles_for(c1, c2, False))
+        # 2 probes for nu + 2n one-hot probes for pi.
+        assert result.queries == 2 + 2 * 6
+
+
+class TestMatchNP:
+    def test_requires_both_inverses(self, rng):
+        base = random_circuit(5, 20, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_P, rng)
+        o1 = CircuitOracle(c1, with_inverse=True)
+        o2 = CircuitOracle(c2, with_inverse=False)
+        with pytest.raises(UnsupportedEquivalenceError):
+            match_n_p(o1, o2)
+
+    def test_recovers_both_witnesses(self, rng):
+        for base in base_circuits(rng):
+            c1, c2, _ = make_instance(base, EquivalenceType.N_P, rng)
+            result = match_n_p(*oracles_for(c1, c2, True))
+            assert verify_match(c1, c2, EquivalenceType.N_P, result)
+
+    def test_query_count_is_logarithmic(self, rng):
+        base = random_circuit(8, 30, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_P, rng)
+        result = match_n_p(*oracles_for(c1, c2, True))
+        assert result.queries <= 2 + 2 * math.ceil(math.log2(8))
+
+
+class TestMatchNIClassical:
+    def test_with_inverse_is_constant_queries(self, rng):
+        for base in base_circuits(rng):
+            c1, c2, truth = make_instance(base, EquivalenceType.N_I, rng)
+            result = match_n_i(*oracles_for(c1, c2, True))
+            assert verify_match(c1, c2, EquivalenceType.N_I, result)
+            assert result.nu_x == truth.nu_x
+            assert result.queries == 2
+
+    def test_only_c1_inverse_available(self, rng):
+        base = random_circuit(5, 20, rng)
+        c1, c2, truth = make_instance(base, EquivalenceType.N_I, rng)
+        o1 = CircuitOracle(c1, with_inverse=True)
+        o2 = CircuitOracle(c2, with_inverse=False)
+        result = match_n_i(o1, o2)
+        assert result.nu_x == truth.nu_x
+
+    def test_without_inverse_refuses(self, rng):
+        base = random_circuit(4, 10, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_I, rng)
+        with pytest.raises(UnsupportedEquivalenceError):
+            match_n_i(*oracles_for(c1, c2, False))
+
+
+class TestMatchNPIClassical:
+    def test_with_inverse_recovers_witnesses(self, rng):
+        for base in base_circuits(rng):
+            c1, c2, _ = make_instance(base, EquivalenceType.NP_I, rng)
+            result = match_np_i(*oracles_for(c1, c2, True))
+            assert verify_match(c1, c2, EquivalenceType.NP_I, result)
+            assert result.metadata["regime"] == "classical-inverse"
+
+    def test_only_c1_inverse_available(self, rng):
+        base = random_circuit(5, 20, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.NP_I, rng)
+        o1 = CircuitOracle(c1, with_inverse=True)
+        o2 = CircuitOracle(c2, with_inverse=False)
+        result = match_np_i(o1, o2)
+        assert verify_match(c1, c2, EquivalenceType.NP_I, result)
+
+    def test_query_count_is_logarithmic(self, rng):
+        base = random_circuit(8, 30, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.NP_I, rng)
+        result = match_np_i(*oracles_for(c1, c2, True))
+        assert result.queries <= 2 * (1 + math.ceil(math.log2(8)))

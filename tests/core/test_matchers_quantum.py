@@ -1,0 +1,123 @@
+"""Unit tests for the quantum swap-test matchers (Algorithm 1 and Section 4.6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import library
+from repro.circuits.permutation import Permutation
+from repro.circuits.random import random_circuit
+from repro.core.equivalence import EquivalenceType
+from repro.core.matchers import match_n_i_quantum, match_np_i_quantum
+from repro.core.matchers.n_i import as_quantum_oracle
+from repro.core.verify import make_instance, verify_match
+from repro.exceptions import MatchingError
+from repro.oracles import CircuitOracle, FunctionOracle
+from repro.quantum.oracle import QuantumCircuitOracle
+from repro.quantum.swap_test import SwapTest
+
+
+class TestAsQuantumOracle:
+    def test_accepts_circuit_permutation_and_oracle(self, rng):
+        circuit = random_circuit(3, 10, rng)
+        assert as_quantum_oracle(circuit).num_qubits == 3
+        assert as_quantum_oracle(Permutation.from_circuit(circuit)).num_qubits == 3
+        existing = QuantumCircuitOracle(circuit)
+        assert as_quantum_oracle(existing) is existing
+
+    def test_unwraps_classical_oracles(self, rng):
+        circuit = random_circuit(3, 10, rng)
+        assert as_quantum_oracle(CircuitOracle(circuit)).num_qubits == 3
+
+    def test_rejects_opaque_function_oracles(self):
+        opaque = FunctionOracle(lambda value: value, 3)
+        with pytest.raises(MatchingError):
+            as_quantum_oracle(opaque)
+
+
+class TestAlgorithm1:
+    def test_recovers_negation_on_random_circuits(self, rng):
+        for _ in range(4):
+            base = random_circuit(5, 20, rng)
+            c1, c2, truth = make_instance(base, EquivalenceType.N_I, rng)
+            result = match_n_i_quantum(c1, c2, epsilon=1e-4, rng=rng)
+            assert result.nu_x == truth.nu_x
+            assert verify_match(c1, c2, EquivalenceType.N_I, result)
+
+    def test_recovers_negation_on_structured_circuit(self, rng):
+        base = library.ripple_adder(3)
+        c1, c2, truth = make_instance(base, EquivalenceType.N_I, rng)
+        result = match_n_i_quantum(c1, c2, epsilon=1e-4, rng=rng)
+        assert result.nu_x == truth.nu_x
+
+    def test_identity_negation_detected(self, rng):
+        base = random_circuit(4, 15, rng)
+        result = match_n_i_quantum(base, base.copy(), epsilon=1e-3, rng=rng)
+        assert result.nu_x == (False,) * 4
+
+    def test_query_count_is_bounded_by_2nk(self, rng):
+        base = random_circuit(6, 20, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_I, rng)
+        epsilon = 1e-3
+        result = match_n_i_quantum(c1, c2, epsilon=epsilon, rng=rng)
+        repetitions = result.metadata["repetitions"]
+        assert repetitions == 10  # ceil(log2(1/1e-3))
+        assert result.quantum_queries <= 2 * 6 * repetitions
+        assert result.queries == 0  # no classical queries
+
+    def test_swap_test_counter_reported(self, rng):
+        base = random_circuit(4, 12, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_I, rng)
+        result = match_n_i_quantum(c1, c2, rng=rng)
+        assert result.swap_tests * 2 == result.quantum_queries
+
+    def test_explicit_swap_test_instance_used(self, rng):
+        base = random_circuit(3, 8, rng)
+        c1, c2, truth = make_instance(base, EquivalenceType.N_I, rng)
+        tester = SwapTest(rng=1, use_circuit=True)
+        result = match_n_i_quantum(c1, c2, epsilon=1e-2, swap_test=tester)
+        assert result.nu_x == truth.nu_x
+        assert tester.runs == result.swap_tests
+
+    def test_mismatched_widths_rejected(self, rng):
+        with pytest.raises(MatchingError):
+            match_n_i_quantum(random_circuit(3, 5, rng), random_circuit(4, 5, rng))
+
+
+class TestQuantumNPI:
+    def test_recovers_witnesses_on_random_circuits(self, rng):
+        for _ in range(3):
+            base = random_circuit(4, 15, rng)
+            c1, c2, _ = make_instance(base, EquivalenceType.NP_I, rng)
+            result = match_np_i_quantum(c1, c2, epsilon=1e-4, rng=rng)
+            assert verify_match(c1, c2, EquivalenceType.NP_I, result)
+
+    def test_recovers_witnesses_on_structured_circuit(self, rng):
+        base = library.increment(5)
+        c1, c2, _ = make_instance(base, EquivalenceType.NP_I, rng)
+        result = match_np_i_quantum(c1, c2, epsilon=1e-4, rng=rng)
+        assert verify_match(c1, c2, EquivalenceType.NP_I, result)
+
+    def test_query_count_is_bounded_by_n_squared(self, rng):
+        num_lines = 5
+        base = random_circuit(num_lines, 15, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.NP_I, rng)
+        result = match_np_i_quantum(c1, c2, epsilon=1e-3, rng=rng)
+        repetitions = result.metadata["repetitions"]
+        bound = 2 * repetitions * (num_lines * num_lines + num_lines)
+        assert result.quantum_queries <= bound
+
+    def test_paper_verbatim_sweep_without_inference(self, rng):
+        base = random_circuit(3, 10, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.NP_I, rng)
+        result = match_np_i_quantum(
+            c1, c2, epsilon=1e-4, rng=rng, infer_last_candidate=False
+        )
+        assert verify_match(c1, c2, EquivalenceType.NP_I, result)
+        assert result.metadata["infer_last_candidate"] is False
+
+    def test_identity_transform_detected(self, rng):
+        base = random_circuit(4, 15, rng)
+        result = match_np_i_quantum(base, base.copy(), epsilon=1e-3, rng=rng)
+        assert result.nu_x == (False,) * 4
+        assert result.pi_x.is_identity()

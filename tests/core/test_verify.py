@@ -1,0 +1,82 @@
+"""Unit tests for instance construction and witness verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.random import random_circuit
+from repro.core.equivalence import EquivalenceType
+from repro.core.problem import MatchingResult
+from repro.core.verify import make_instance, reconstructed_circuit, verify_match
+from repro.exceptions import MatchingError
+
+
+class TestMakeInstance:
+    def test_instances_respect_the_class_shape(self, rng):
+        base = random_circuit(4, 15, rng)
+        c1, c2, truth = make_instance(base, EquivalenceType.N_I, rng)
+        assert truth.nu_x is not None
+        assert truth.pi_x is None
+        assert truth.nu_y is None
+        assert truth.pi_y is None
+        assert c2.functionally_equal(base)
+
+    def test_instance_is_equivalent_under_ground_truth(self, rng):
+        for label in ("I-N", "P-I", "NP-I", "N-P", "N-N", "P-P", "NP-NP"):
+            equivalence = EquivalenceType.from_label(label)
+            base = random_circuit(4, 15, rng)
+            c1, c2, truth = make_instance(base, equivalence, rng)
+            result = MatchingResult(
+                equivalence,
+                nu_x=truth.nu_x,
+                pi_x=truth.pi_x,
+                nu_y=truth.nu_y,
+                pi_y=truth.pi_y,
+            )
+            assert verify_match(c1, c2, equivalence, result)
+
+    def test_i_i_instance_is_unchanged(self, rng):
+        base = random_circuit(3, 10, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.I_I, rng)
+        assert c1.functionally_equal(c2)
+
+
+class TestVerifyMatch:
+    def test_rejects_wrong_witness(self, rng):
+        base = random_circuit(4, 15, rng)
+        c1, c2, truth = make_instance(base, EquivalenceType.I_N, rng)
+        wrong = MatchingResult(
+            EquivalenceType.I_N,
+            nu_y=tuple(not value for value in truth.nu_y),
+        )
+        # Flipping every bit of a non-trivial negation cannot still match.
+        if any(truth.nu_y):
+            assert not verify_match(c1, c2, EquivalenceType.I_N, wrong)
+
+    def test_rejects_witness_outside_class(self, rng):
+        base = random_circuit(3, 10, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.I_N, rng)
+        rogue = MatchingResult(EquivalenceType.I_N, nu_x=(True, False, False))
+        with pytest.raises(MatchingError):
+            verify_match(c1, c2, EquivalenceType.I_N, rogue)
+
+    def test_width_mismatch_fails(self, rng):
+        c1 = random_circuit(3, 5, rng)
+        c2 = random_circuit(4, 5, rng)
+        assert not verify_match(c1, c2, EquivalenceType.I_I, MatchingResult(EquivalenceType.I_I))
+
+    def test_sampled_verification_agrees_with_exhaustive(self, rng):
+        base = random_circuit(5, 20, rng)
+        c1, c2, truth = make_instance(base, EquivalenceType.NP_I, rng)
+        result = MatchingResult(
+            EquivalenceType.NP_I, nu_x=truth.nu_x, pi_x=truth.pi_x
+        )
+        assert verify_match(c1, c2, EquivalenceType.NP_I, result, exhaustive=False, rng=rng)
+
+    def test_reconstructed_circuit_matches_transformed(self, rng):
+        base = random_circuit(4, 12, rng)
+        c1, c2, truth = make_instance(base, EquivalenceType.P_N, rng)
+        result = MatchingResult(
+            EquivalenceType.P_N, pi_x=truth.pi_x, nu_y=truth.nu_y
+        )
+        assert reconstructed_circuit(c2, result).functionally_equal(c1)

@@ -1,0 +1,133 @@
+"""Integration tests exercising several subsystems together."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuits import io, library
+from repro.circuits.permutation import Permutation
+from repro.circuits.random import (
+    random_circuit,
+    random_line_permutation,
+    random_negation,
+)
+from repro.circuits.transforms import transformed_circuit
+from repro.core import EquivalenceType, match, make_instance, verify_match
+from repro.core.hardness import (
+    build_nn_instance,
+    decide_unique_sat_via_nn,
+    nn_witness_from_assignment,
+)
+from repro.oracles import CircuitOracle, PermutationOracle
+from repro.sat.generators import planted_unique_sat
+from repro.sat.valiant_vazirani import isolate_unique_solution
+from repro.synthesis import TemplateLibrary, synthesize
+
+
+class TestSynthesisThenMatching:
+    def test_match_resynthesized_circuit_against_original(self, rng):
+        """Synthesise a permutation, scramble it, and recover the scrambling."""
+        base = random_circuit(4, 18, rng)
+        resynthesized = synthesize(Permutation.from_circuit(base))
+        nu = random_negation(4, rng)
+        pi = random_line_permutation(4, rng)
+        scrambled = transformed_circuit(resynthesized, nu_x=nu, pi_x=pi)
+        o1 = CircuitOracle(scrambled, with_inverse=True)
+        o2 = CircuitOracle(base, with_inverse=True)
+        result = match(o1, o2, EquivalenceType.NP_I)
+        assert verify_match(scrambled, base, EquivalenceType.NP_I, result)
+
+
+class TestOracleVarietyMatching:
+    def test_permutation_oracles_work_like_circuit_oracles(self, rng):
+        base = random_circuit(4, 16, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.I_NP, rng)
+        o1 = PermutationOracle(Permutation.from_circuit(c1), with_inverse=True)
+        o2 = PermutationOracle(Permutation.from_circuit(c2), with_inverse=True)
+        result = match(o1, o2, EquivalenceType.I_NP)
+        assert verify_match(c1, c2, EquivalenceType.I_NP, result)
+
+    def test_matching_circuits_loaded_from_real_files(self, tmp_path, rng):
+        base = library.hidden_weighted_bit(4)
+        c1, _, _ = make_instance(base, EquivalenceType.P_I, rng)
+        path1, path2 = tmp_path / "c1.real", tmp_path / "c2.real"
+        io.write_real(c1, path1)
+        io.write_real(base, path2)
+        loaded1, loaded2 = io.read_real(path1), io.read_real(path2)
+        result = match(loaded1, loaded2, EquivalenceType.P_I)
+        assert verify_match(loaded1, loaded2, EquivalenceType.P_I, result)
+
+
+class TestTemplateFlow:
+    def test_template_recognition_and_reuse(self, rng):
+        templates = TemplateLibrary()
+        templates.add("adder", library.ripple_adder(2))
+        templates.add("hwb", library.hidden_weighted_bit(4))
+        templates.add("increment", library.increment(4))
+
+        nu = random_negation(4, rng)
+        pi = random_line_permutation(4, rng)
+        target = transformed_circuit(library.hidden_weighted_bit(4), nu_x=nu, pi_x=pi)
+
+        hit = templates.lookup(target, EquivalenceType.NP_I)
+        assert hit.template_name == "hwb"
+        assert hit.instantiate().functionally_equal(target)
+
+
+class TestHardnessFlow:
+    def test_valiant_vazirani_instance_through_nn_reduction(self, rng):
+        """SAT -> UNIQUE-SAT (VV) -> N-N matching -> assignment recovery."""
+        from repro.sat.cnf import CNF
+
+        formula = CNF([[1, 2, 3], [-1, 2], [-2, 3]])
+        isolated = isolate_unique_solution(formula, rng)
+        if isolated.num_variables > 6:
+            pytest.skip("isolation added too many auxiliary variables for 2^n scan")
+        satisfiable, assignment, instance = decide_unique_sat_via_nn(
+            isolated, exhaustive_check=False
+        )
+        assert satisfiable
+        projection = {v: assignment[v] for v in range(1, formula.num_variables + 1)}
+        assert formula.evaluate(projection)
+
+    def test_planted_instance_witness_matches_brute_force_baseline(self, rng):
+        from repro.baselines.brute_force import brute_force_match
+
+        formula, model = planted_unique_sat(2, 3, rng=rng)
+        instance = build_nn_instance(formula)
+        planted_witness = nn_witness_from_assignment(instance, model)
+        found = brute_force_match(
+            instance.c1, instance.c2, EquivalenceType.N_N, rng=rng
+        )
+        assert verify_match(instance.c1, instance.c2, EquivalenceType.N_N, found)
+        # Both witnesses agree on the variable lines (the model is unique).
+        for variable in model:
+            line = instance.layout.variable_line(variable)
+            assert found.nu_x[line] == planted_witness.nu_x[line]
+
+
+class TestQuantumClassicalAgreement:
+    def test_quantum_and_classical_n_i_agree(self, rng):
+        base = library.gray_code(4)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_I, rng)
+        quantum = match(c1, c2, EquivalenceType.N_I, rng=rng, epsilon=1e-5)
+        classical = match(
+            CircuitOracle(c1, with_inverse=True),
+            CircuitOracle(c2, with_inverse=True),
+            EquivalenceType.N_I,
+        )
+        assert quantum.nu_x == classical.nu_x
+
+    def test_quantum_np_i_agrees_with_classical_reconstruction(self, rng):
+        base = random_circuit(4, 15, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.NP_I, rng)
+        quantum = match(c1, c2, EquivalenceType.NP_I, rng=rng, epsilon=1e-5)
+        classical = match(
+            CircuitOracle(c1, with_inverse=True),
+            CircuitOracle(c2, with_inverse=True),
+            EquivalenceType.NP_I,
+        )
+        assert verify_match(c1, c2, EquivalenceType.NP_I, quantum)
+        assert verify_match(c1, c2, EquivalenceType.NP_I, classical)

@@ -1,0 +1,76 @@
+"""Integration test: measured query counts stay within the Table 1 bounds.
+
+For every row of Table 1 the corresponding matcher is run on random promised
+instances at a couple of bit widths and the measured oracle-query count is
+compared against the claimed bound (with a small constant factor allowance —
+the bounds are asymptotic and our accounting charges both oracles).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.random import random_circuit
+from repro.core import EquivalenceType, TABLE1_ROWS, match, make_instance
+from repro.oracles import CircuitOracle
+
+#: Constant-factor allowance applied to every claimed bound.  Each composite
+#: probe touches both oracles (factor 2) and small additive terms appear at
+#: tiny n, so a factor of 4 plus a +4 offset is a fair, still-tight cap.
+ALLOWANCE_FACTOR = 4.0
+ALLOWANCE_OFFSET = 4.0
+EPSILON = 1e-3
+
+
+def run_row_instance(row, equivalence, num_lines, seed):
+    base = random_circuit(num_lines, 4 * num_lines, seed)
+    c1, c2, _ = make_instance(base, equivalence, seed)
+    if row.inverse_available:
+        if row.requires_both_inverses:
+            o1 = CircuitOracle(c1, with_inverse=True)
+            o2 = CircuitOracle(c2, with_inverse=True)
+        else:
+            o1 = CircuitOracle(c1, with_inverse=False)
+            o2 = CircuitOracle(c2, with_inverse=True)
+        result = match(o1, o2, equivalence, rng=seed, epsilon=EPSILON)
+    else:
+        result = match(c1, c2, equivalence, rng=seed, epsilon=EPSILON)
+    return result
+
+
+@pytest.mark.parametrize("row", TABLE1_ROWS, ids=lambda row: f"{row.paradigm}-"
+                         + ("inv-" if row.inverse_available else "noinv-")
+                         + "+".join(e.label for e in row.equivalences))
+def test_measured_queries_respect_claimed_bounds(row):
+    sizes = (4, 6) if row.paradigm == "classical" else (3, 4)
+    for equivalence in row.equivalences:
+        for num_lines in sizes:
+            for seed in (11, 29):
+                result = run_row_instance(row, equivalence, num_lines, seed)
+                measured = (
+                    result.queries
+                    if row.paradigm == "classical"
+                    else result.quantum_queries
+                )
+                bound = row.bound(num_lines, EPSILON)
+                cap = ALLOWANCE_FACTOR * bound + ALLOWANCE_OFFSET
+                assert measured <= cap, (
+                    f"{equivalence.label} ({row.complexity}, inverse="
+                    f"{row.inverse_available}): measured {measured} queries at "
+                    f"n={num_lines}, cap {cap}"
+                )
+
+
+def test_quantum_n_i_beats_classical_collision_at_moderate_n():
+    """The Theorem 1 separation is visible already at n = 9."""
+    from repro.baselines.classical_collision import match_n_i_collision
+
+    num_lines = 9
+    base = random_circuit(num_lines, 30, 5)
+    c1, c2, _ = make_instance(base, EquivalenceType.N_I, 5)
+    quantum = match(c1, c2, EquivalenceType.N_I, rng=5, epsilon=EPSILON)
+    classical_total = 0
+    runs = 3
+    for seed in range(runs):
+        classical_total += match_n_i_collision(c1, c2, rng=seed).queries
+    assert quantum.quantum_queries < classical_total / runs

@@ -1,0 +1,83 @@
+"""Failure-injection tests: oracles that run out of budget or misbehave.
+
+The matchers must fail *loudly* (with the library's own exceptions) rather
+than silently returning wrong witnesses when the oracle layer refuses to
+cooperate — query budgets exhausted mid-run, inverse access revoked, or the
+two oracles disagreeing on the bit width.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.classical_collision import match_n_i_collision
+from repro.circuits.random import random_circuit
+from repro.core import EquivalenceType, make_instance, match
+from repro.core.matchers import match_i_np, match_p_i, match_p_n
+from repro.exceptions import (
+    InverseUnavailableError,
+    OracleError,
+    QueryBudgetExceededError,
+)
+from repro.oracles import CircuitOracle, FunctionOracle
+
+
+class TestBudgetExhaustion:
+    def test_one_hot_matcher_stops_at_budget(self, rng):
+        base = random_circuit(6, 20, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.P_I, rng)
+        o1 = CircuitOracle(c1, max_queries=3)
+        o2 = CircuitOracle(c2)
+        with pytest.raises(QueryBudgetExceededError):
+            match_p_i(o1, o2)
+
+    def test_randomised_matcher_stops_at_budget(self, rng):
+        base = random_circuit(6, 20, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.I_NP, rng)
+        o1 = CircuitOracle(c1, max_queries=5)
+        o2 = CircuitOracle(c2, max_queries=5)
+        with pytest.raises(QueryBudgetExceededError):
+            match_i_np(o1, o2, epsilon=1e-6, rng=rng)
+
+    def test_collision_baseline_budget_is_its_own_error(self, rng):
+        base = random_circuit(8, 25, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_I, rng)
+        o1 = CircuitOracle(c1, max_queries=10_000)
+        o2 = CircuitOracle(c2, max_queries=10_000)
+        # The baseline's own max_queries triggers before the oracle budget.
+        from repro.exceptions import MatchingError
+
+        with pytest.raises(MatchingError):
+            match_n_i_collision(o1, o2, rng=rng, max_queries=4)
+
+    def test_budget_exactly_sufficient_succeeds(self, rng):
+        base = random_circuit(5, 15, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.P_N, rng)
+        # P-N without inverse needs exactly 2 + 2n queries.
+        o1 = CircuitOracle(c1, max_queries=1 + 5)
+        o2 = CircuitOracle(c2, max_queries=1 + 5)
+        result = match_p_n(o1, o2)
+        assert result.queries == 12
+
+
+class TestAccessViolations:
+    def test_inverse_refused_when_not_granted(self, rng):
+        oracle = CircuitOracle(random_circuit(3, 10, rng))
+        with pytest.raises(InverseUnavailableError):
+            oracle.query_inverse(0)
+
+    def test_dispatcher_does_not_silently_use_missing_inverse(self, rng):
+        base = random_circuit(4, 15, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_I, rng)
+        o1 = CircuitOracle(c1)  # no inverse
+        o2 = CircuitOracle(c2)  # no inverse
+        result = match(o1, o2, EquivalenceType.N_I, rng=rng)
+        # The dispatcher must have taken the quantum route, not inverse access.
+        assert result.metadata["regime"] == "quantum-swap-test"
+        assert o1.inverse_query_count == 0
+        assert o2.inverse_query_count == 0
+
+    def test_width_disagreement_detected(self, rng):
+        small = FunctionOracle(lambda value: value, 3)
+        with pytest.raises(OracleError):
+            small.query(12)

@@ -1,0 +1,74 @@
+"""Unit tests for GF(2) linear algebra."""
+
+from __future__ import annotations
+
+from repro.quantum.gf2 import (
+    dot,
+    nullspace_basis,
+    rank,
+    row_echelon,
+    solve_unique_nullspace_vector,
+)
+
+
+class TestDot:
+    def test_inner_products(self):
+        assert dot(0b101, 0b100) == 1
+        assert dot(0b101, 0b101) == 0  # two overlapping ones -> parity 0
+        assert dot(0, 0b111) == 0
+
+
+class TestRowEchelon:
+    def test_pivots_are_distinct(self):
+        rows, pivots = row_echelon([0b110, 0b011, 0b101], 3)
+        assert len(pivots) == len(set(pivots))
+        assert len(rows) == 2  # the three rows are linearly dependent
+
+    def test_duplicate_rows_collapse(self):
+        rows, _ = row_echelon([0b101, 0b101, 0b101], 3)
+        assert len(rows) == 1
+
+    def test_zero_rows_ignored(self):
+        rows, _ = row_echelon([0, 0b010, 0], 3)
+        assert rows == [0b010]
+
+
+class TestRank:
+    def test_full_rank(self):
+        assert rank([0b001, 0b010, 0b100], 3) == 3
+
+    def test_dependent_rows(self):
+        assert rank([0b011, 0b101, 0b110], 3) == 2
+
+    def test_empty(self):
+        assert rank([], 4) == 0
+
+
+class TestNullspace:
+    def test_orthogonality_of_basis(self):
+        rows = [0b1100, 0b0110]
+        basis = nullspace_basis(rows, 4)
+        assert len(basis) == 2
+        for vector in basis:
+            assert vector != 0
+            for row in rows:
+                assert dot(row, vector) == 0
+
+    def test_dimension_formula(self):
+        rows = [0b10011, 0b01010, 0b00101]
+        basis = nullspace_basis(rows, 5)
+        assert len(basis) == 5 - rank(rows, 5)
+
+    def test_unique_vector_found(self):
+        # Rows orthogonal to s = 0b1011 over 4 bits.
+        s = 0b1011
+        rows = [y for y in range(16) if y and dot(y, s) == 0]
+        assert rank(rows, 4) == 3
+        assert solve_unique_nullspace_vector(rows, 4) == s
+
+    def test_unique_vector_none_when_underdetermined(self):
+        assert solve_unique_nullspace_vector([0b0001], 4) is None
+
+    def test_unique_vector_none_when_full_rank(self):
+        rows = [0b0001, 0b0010, 0b0100, 0b1000]
+        assert solve_unique_nullspace_vector(rows, 4) is None

@@ -1,0 +1,122 @@
+"""Unit tests for Simon's algorithm and the Simon-based N-I matcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.random import random_circuit
+from repro.core import EquivalenceType, make_instance, verify_match
+from repro.core.matchers import match_n_i_simon
+from repro.exceptions import QuantumError
+from repro.quantum.gf2 import dot
+from repro.quantum.simon import XorQueryOracle, find_hidden_period, simon_sample
+
+
+def periodic_function(period: int, input_bits: int):
+    """A canonical 2-to-1 function with the given XOR period."""
+    representatives: dict[int, int] = {}
+    table = []
+    for value in range(1 << input_bits):
+        key = min(value, value ^ period)
+        representatives.setdefault(key, len(representatives))
+        table.append(representatives[key])
+    return table
+
+
+class TestXorQueryOracle:
+    def test_register_shapes(self):
+        oracle = XorQueryOracle(lambda x: x, 3, 3)
+        assert oracle.num_qubits == 6
+        assert oracle.input_bits == 3
+        assert oracle.output_bits == 3
+
+    def test_rejects_out_of_range_values(self):
+        with pytest.raises(QuantumError):
+            XorQueryOracle(lambda x: 4, 2, 2)
+
+    def test_rejects_bad_table_length(self):
+        with pytest.raises(QuantumError):
+            XorQueryOracle([0, 1], 2, 2)
+
+    def test_query_counting_and_budget(self):
+        import numpy as np
+
+        oracle = XorQueryOracle(lambda x: x, 2, 2, max_queries=1)
+        state = np.zeros(16, dtype=complex)
+        state[0] = 1.0
+        oracle.query_vector(state)
+        assert oracle.query_count == 1
+        with pytest.raises(QuantumError):
+            oracle.query_vector(state)
+
+    def test_xor_semantics_on_basis_state(self):
+        import numpy as np
+
+        oracle = XorQueryOracle([0b01, 0b10, 0b11, 0b00], 2, 2)
+        state = np.zeros(16, dtype=complex)
+        state[0b01] = 1.0  # input x=1, output register 0
+        result = oracle.query_vector(state)
+        # Output register should now hold f(1) = 0b10: index = 1 | (2 << 2).
+        assert result[0b1001] == pytest.approx(1.0)
+
+
+class TestSimonSampling:
+    def test_samples_are_orthogonal_to_the_period(self, rng):
+        period = 0b101
+        oracle = XorQueryOracle(periodic_function(period, 3), 3, 3)
+        for _ in range(20):
+            sample = simon_sample(oracle, rng)
+            assert dot(sample, period) == 0
+
+    def test_find_hidden_period_recovers_planted_period(self, rng):
+        for period in (0b1, 0b110, 0b1011):
+            oracle = XorQueryOracle(periodic_function(period, 4), 4, 4)
+            assert find_hidden_period(oracle, rng) == period
+
+    def test_injective_function_reports_zero_period(self, rng):
+        oracle = XorQueryOracle(list(range(16)), 4, 4)
+        assert find_hidden_period(oracle, rng) == 0
+
+    def test_sample_cap_enforced(self, rng):
+        oracle = XorQueryOracle(periodic_function(0b11, 2), 2, 2)
+        with pytest.raises(QuantumError):
+            find_hidden_period(oracle, rng, max_samples=0)
+
+
+class TestSimonBasedMatching:
+    def test_recovers_negation_on_random_circuits(self, rng):
+        for _ in range(4):
+            base = random_circuit(4, 15, rng)
+            c1, c2, truth = make_instance(base, EquivalenceType.N_I, rng)
+            result = match_n_i_simon(c1, c2, rng=rng)
+            assert result.nu_x == truth.nu_x
+            assert verify_match(c1, c2, EquivalenceType.N_I, result)
+            assert result.metadata["regime"] == "quantum-simon"
+
+    def test_identity_negation_recovered(self, rng):
+        base = random_circuit(4, 15, rng)
+        result = match_n_i_simon(base, base.copy(), rng=rng)
+        assert result.nu_x == (False,) * 4
+
+    def test_query_count_is_linearish(self, rng):
+        base = random_circuit(6, 20, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_I, rng)
+        result = match_n_i_simon(c1, c2, rng=rng)
+        # Simon needs about m = n + 1 informative rounds; allow generous slack.
+        assert result.quantum_queries <= 2 * (8 * (6 + 1) + 32)
+        assert result.quantum_queries >= 2 * 6  # at least ~m rounds
+
+    def test_agrees_with_swap_test_algorithm(self, rng):
+        from repro.core.matchers import match_n_i_quantum
+
+        base = random_circuit(5, 18, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.N_I, rng)
+        simon_result = match_n_i_simon(c1, c2, rng=rng)
+        swap_result = match_n_i_quantum(c1, c2, epsilon=1e-5, rng=rng)
+        assert simon_result.nu_x == swap_result.nu_x
+
+    def test_mismatched_widths_rejected(self, rng):
+        from repro.exceptions import MatchingError
+
+        with pytest.raises(MatchingError):
+            match_n_i_simon(random_circuit(3, 5, rng), random_circuit(4, 5, rng))

@@ -1,0 +1,53 @@
+"""Unit tests for the Valiant–Vazirani isolation reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SatError
+from repro.sat.cnf import CNF
+from repro.sat.generators import unsatisfiable_cnf
+from repro.sat.solver import count_models, solve
+from repro.sat.valiant_vazirani import (
+    add_random_xor_constraint,
+    isolate_unique_solution,
+)
+
+
+class TestXorConstraint:
+    def test_adds_clauses_and_possibly_variables(self, rng):
+        formula = CNF([[1, 2], [-1, 3]])
+        constrained = add_random_xor_constraint(formula, rng)
+        assert constrained.num_clauses >= formula.num_clauses
+        assert constrained.num_variables >= formula.num_variables
+
+    def test_models_project_to_original_models(self, rng):
+        formula = CNF([[1, 2]])
+        constrained = add_random_xor_constraint(formula, rng)
+        result = solve(constrained)
+        if result.satisfiable:
+            projection = {v: result.assignment[v] for v in (1, 2)}
+            assert formula.evaluate(projection)
+
+
+class TestIsolation:
+    def test_isolated_formula_has_one_model(self, rng):
+        formula = CNF([[1, 2, 3], [-1, 2], [1, -3]])
+        assert count_models(formula, limit=3) > 1
+        isolated = isolate_unique_solution(formula, rng)
+        assert count_models(isolated, limit=2) == 1
+
+    def test_isolated_model_satisfies_original(self, rng):
+        formula = CNF([[1, 2, 3]])
+        isolated = isolate_unique_solution(formula, rng)
+        model = solve(isolated).assignment
+        projection = {v: model[v] for v in range(1, formula.num_variables + 1)}
+        assert formula.evaluate(projection)
+
+    def test_already_unique_formula_returned_unchanged(self, rng):
+        formula = CNF([[1], [2]])
+        assert isolate_unique_solution(formula, rng) is formula
+
+    def test_unsatisfiable_input_rejected(self, rng):
+        with pytest.raises(SatError):
+            isolate_unique_solution(unsatisfiable_cnf(3), rng)

@@ -1,0 +1,77 @@
+"""Unit tests for gate-set decomposition."""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import ReversibleCircuit
+from repro.circuits.gates import MCTGate, SwapGate, mct
+from repro.circuits.random import random_circuit
+from repro.synthesis.decomposition import (
+    remove_negative_controls,
+    to_ncv_ready_form,
+    to_toffoli_gate_set,
+)
+
+
+class TestRemoveNegativeControls:
+    def test_function_preserved(self, rng):
+        for _ in range(10):
+            circuit = random_circuit(4, 15, rng)
+            rewritten = remove_negative_controls(circuit)
+            assert rewritten.functionally_equal(circuit)
+
+    def test_all_controls_positive(self, rng):
+        circuit = random_circuit(4, 15, rng)
+        rewritten = remove_negative_controls(circuit)
+        for gate in rewritten:
+            if isinstance(gate, MCTGate):
+                assert all(control.positive for control in gate.controls)
+
+    def test_positive_only_circuit_unchanged(self):
+        circuit = ReversibleCircuit(3, [mct([0, 1], 2)])
+        assert remove_negative_controls(circuit).gates == circuit.gates
+
+    def test_swap_gates_pass_through(self):
+        circuit = ReversibleCircuit(3, [SwapGate(0, 2)])
+        assert remove_negative_controls(circuit).gates == circuit.gates
+
+
+class TestToffoliGateSet:
+    def test_small_gates_unchanged_width(self, rng):
+        circuit = random_circuit(4, 10, rng, max_controls=2)
+        expanded = to_toffoli_gate_set(circuit)
+        assert expanded.num_lines == 4
+
+    def test_large_mct_expansion_preserves_function_on_clean_ancillas(self):
+        circuit = ReversibleCircuit(5, [mct([0, 1, 2, 3], 4)])
+        expanded = to_toffoli_gate_set(circuit)
+        assert expanded.num_lines == 5 + 2
+        for value in range(32):
+            expected = circuit.simulate(value)
+            result = expanded.simulate(value)  # ancillas supplied as 0
+            assert result & 0b11111 == expected
+            assert result >> 5 == 0  # ancillas restored
+
+    def test_max_two_controls_after_expansion(self, rng):
+        circuit = ReversibleCircuit(6, [mct([0, 1, 2, 3, 4], 5)])
+        expanded = to_toffoli_gate_set(circuit)
+        for gate in expanded:
+            if isinstance(gate, MCTGate):
+                assert gate.num_controls <= 2
+
+    def test_negative_controls_also_handled(self):
+        circuit = ReversibleCircuit(
+            5, [mct([0, 1, 2, 3], 4, polarities=[False, True, False, True])]
+        )
+        expanded = to_toffoli_gate_set(circuit)
+        for value in range(32):
+            assert expanded.simulate(value) & 0b11111 == circuit.simulate(value)
+
+
+class TestNcvReadyForm:
+    def test_no_swaps_and_small_gates(self, rng):
+        circuit = random_circuit(5, 12, rng)
+        ready = to_ncv_ready_form(circuit)
+        for gate in ready:
+            assert isinstance(gate, MCTGate)
+            assert gate.num_controls <= 2
+            assert all(control.positive for control in gate.controls)

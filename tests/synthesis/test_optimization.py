@@ -1,0 +1,112 @@
+"""Unit tests for the peephole optimiser."""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import ReversibleCircuit
+from repro.circuits.gates import SwapGate, cnot, not_gate, toffoli
+from repro.circuits.random import random_circuit
+from repro.synthesis.optimization import (
+    cancel_adjacent_pairs,
+    merge_not_gates,
+    optimize,
+    remove_trivial_gates,
+)
+
+
+class TestCancelAdjacentPairs:
+    def test_identical_pair_removed(self):
+        circuit = ReversibleCircuit(3, [toffoli(0, 1, 2), toffoli(0, 1, 2)])
+        assert cancel_adjacent_pairs(circuit).num_gates == 0
+
+    def test_cascading_cancellation(self):
+        gate = cnot(0, 1)
+        circuit = ReversibleCircuit(2, [gate, not_gate(0), not_gate(0), gate])
+        assert cancel_adjacent_pairs(circuit).num_gates == 0
+
+    def test_non_adjacent_pair_kept(self):
+        circuit = ReversibleCircuit(2, [not_gate(0), cnot(0, 1), not_gate(0)])
+        assert cancel_adjacent_pairs(circuit).num_gates == 3
+
+    def test_function_preserved(self, rng):
+        for _ in range(10):
+            circuit = random_circuit(4, 20, rng)
+            doubled = ReversibleCircuit(4, list(circuit.gates) + list(circuit.gates))
+            cleaned = cancel_adjacent_pairs(doubled)
+            assert cleaned.functionally_equal(doubled)
+
+
+class TestMergeNotGates:
+    def test_nots_cancel_across_commuting_gate(self):
+        # The CNOT targets line 0, so a NOT on line 0 commutes past it.
+        circuit = ReversibleCircuit(2, [not_gate(0), cnot(1, 0), not_gate(0)])
+        optimised = merge_not_gates(circuit)
+        assert optimised.num_gates == 1
+        assert optimised.functionally_equal(circuit)
+
+    def test_nots_blocked_by_control_are_kept(self):
+        circuit = ReversibleCircuit(2, [not_gate(0), cnot(0, 1), not_gate(0)])
+        assert merge_not_gates(circuit).num_gates == 3
+
+    def test_unrelated_lines_commute(self):
+        circuit = ReversibleCircuit(3, [not_gate(2), cnot(0, 1), not_gate(2)])
+        assert merge_not_gates(circuit).num_gates == 1
+
+    def test_function_preserved_on_random_circuits(self, rng):
+        for _ in range(15):
+            circuit = random_circuit(4, 25, rng)
+            assert merge_not_gates(circuit).functionally_equal(circuit)
+
+
+class TestRemoveTrivialGates:
+    def test_no_constants_is_identity(self, rng):
+        circuit = random_circuit(4, 10, rng)
+        assert remove_trivial_gates(circuit).gates == circuit.gates
+
+    def test_contradicted_control_removed(self):
+        circuit = ReversibleCircuit(2, [cnot(0, 1)])
+        cleaned = remove_trivial_gates(circuit, constant_lines={0: 0})
+        assert cleaned.num_gates == 0
+
+    def test_satisfied_control_kept(self):
+        circuit = ReversibleCircuit(2, [cnot(0, 1)])
+        cleaned = remove_trivial_gates(circuit, constant_lines={0: 1})
+        assert cleaned.num_gates == 1
+
+    def test_constant_invalidated_after_target_write(self):
+        circuit = ReversibleCircuit(2, [not_gate(0), cnot(0, 1, positive=False)])
+        # Line 0 starts at 0 but the NOT rewrites it, so the negative-control
+        # CNOT may fire and must be kept.
+        cleaned = remove_trivial_gates(circuit, constant_lines={0: 0})
+        assert cleaned.num_gates == 2
+
+
+class TestOptimize:
+    def test_reaches_fixed_point(self):
+        gate = toffoli(0, 1, 2)
+        circuit = ReversibleCircuit(
+            3, [not_gate(0), gate, gate, not_gate(0), SwapGate(1, 2), SwapGate(1, 2)]
+        )
+        optimised = optimize(circuit)
+        assert optimised.num_gates == 0
+
+    def test_never_increases_gate_count(self, rng):
+        for _ in range(10):
+            circuit = random_circuit(5, 30, rng)
+            assert optimize(circuit).num_gates <= circuit.num_gates
+
+    def test_function_preserved(self, rng):
+        for _ in range(10):
+            circuit = random_circuit(4, 30, rng)
+            assert optimize(circuit).functionally_equal(circuit)
+
+    def test_optimises_synthesised_circuits(self, rng):
+        from repro.circuits.permutation import Permutation
+        from repro.synthesis import synthesize
+
+        for _ in range(5):
+            from repro.circuits.random import random_permutation
+
+            permutation = random_permutation(3, rng)
+            circuit = synthesize(permutation)
+            optimised = optimize(circuit)
+            assert Permutation.from_circuit(optimised) == permutation

@@ -1,0 +1,78 @@
+"""Unit tests for transformation-based synthesis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.permutation import Permutation
+from repro.circuits.random import random_permutation
+from repro.synthesis.transformation_based import (
+    synthesize,
+    synthesize_basic,
+    synthesize_bidirectional,
+)
+
+
+class TestBasicSynthesis:
+    def test_identity_produces_empty_circuit(self):
+        circuit = synthesize_basic(Permutation.identity(3))
+        assert circuit.num_gates == 0
+
+    def test_single_swap_permutation(self):
+        permutation = Permutation([1, 0, 2, 3])
+        circuit = synthesize_basic(permutation)
+        assert Permutation.from_circuit(circuit) == permutation
+
+    def test_random_permutations_are_realised(self, rng):
+        for bits in (2, 3, 4):
+            for _ in range(8):
+                permutation = random_permutation(bits, rng)
+                circuit = synthesize_basic(permutation)
+                assert Permutation.from_circuit(circuit) == permutation
+
+    def test_uses_only_positive_controls(self, rng):
+        circuit = synthesize_basic(random_permutation(3, rng))
+        for gate in circuit:
+            assert all(control.positive for control in gate.controls)
+
+
+class TestBidirectionalSynthesis:
+    def test_random_permutations_are_realised(self, rng):
+        for bits in (2, 3, 4):
+            for _ in range(8):
+                permutation = random_permutation(bits, rng)
+                circuit = synthesize_bidirectional(permutation)
+                assert Permutation.from_circuit(circuit) == permutation
+
+    def test_not_larger_on_average_than_basic(self, rng):
+        total_basic = 0
+        total_bidirectional = 0
+        for _ in range(20):
+            permutation = random_permutation(4, rng)
+            total_basic += synthesize_basic(permutation).num_gates
+            total_bidirectional += synthesize_bidirectional(permutation).num_gates
+        assert total_bidirectional <= total_basic
+
+    def test_hwb_like_function(self):
+        permutation = Permutation([0, 1, 2, 4, 3, 6, 5, 7])
+        circuit = synthesize_bidirectional(permutation)
+        assert Permutation.from_circuit(circuit) == permutation
+
+
+class TestDispatcher:
+    def test_synthesize_default_is_bidirectional(self, rng):
+        permutation = random_permutation(3, rng)
+        assert synthesize(permutation).name == "tbs_bidirectional"
+        assert synthesize(permutation, bidirectional=False).name == "tbs_basic"
+
+    def test_named_circuit(self, rng):
+        permutation = random_permutation(3, rng)
+        assert synthesize(permutation, name="custom").name == "custom"
+
+    def test_round_trip_through_circuit(self, rng):
+        from repro.circuits.random import random_circuit
+
+        original = random_circuit(4, 20, rng)
+        permutation = Permutation.from_circuit(original)
+        resynthesized = synthesize(permutation)
+        assert resynthesized.functionally_equal(original)

@@ -1,0 +1,137 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import io, library
+from repro.circuits.random import random_line_permutation, random_negation
+from repro.circuits.transforms import transformed_circuit
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def circuit_files(tmp_path, rng):
+    """Write a base circuit and an NP-I-scrambled variant to .real files."""
+    base = library.hidden_weighted_bit(4)
+    nu = random_negation(4, rng)
+    pi = random_line_permutation(4, rng)
+    scrambled = transformed_circuit(base, nu_x=nu, pi_x=pi)
+    base_path = tmp_path / "base.real"
+    scrambled_path = tmp_path / "scrambled.real"
+    io.write_real(base, base_path)
+    io.write_real(scrambled, scrambled_path)
+    return str(scrambled_path), str(base_path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_info_reports_metrics(self, circuit_files, capsys):
+        scrambled, base = circuit_files
+        assert main(["info", base]) == 0
+        output = capsys.readouterr().out
+        assert "gates" in output
+        assert "quantum_cost" in output
+
+    def test_info_with_drawing(self, circuit_files, capsys):
+        _, base = circuit_files
+        assert main(["info", base, "--draw", "--ascii"]) == 0
+        assert "+" in capsys.readouterr().out
+
+    def test_info_missing_file(self, capsys):
+        assert main(["info", "/nonexistent/file.real"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestMatch:
+    def test_match_with_inverse_and_verify(self, circuit_files, capsys):
+        scrambled, base = circuit_files
+        code = main(
+            [
+                "match",
+                scrambled,
+                base,
+                "--equivalence",
+                "NP-I",
+                "--with-inverse",
+                "--verify",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "nu_x" in output
+        assert "pi_x" in output
+        assert "PASS" in output
+
+    def test_match_quantum_path(self, circuit_files, capsys):
+        scrambled, base = circuit_files
+        code = main(
+            [
+                "match",
+                scrambled,
+                base,
+                "--equivalence",
+                "NP-I",
+                "--seed",
+                "3",
+                "--verify",
+            ]
+        )
+        assert code == 0
+        assert "quantum queries" in capsys.readouterr().out
+
+    def test_match_hard_class_reports_error(self, circuit_files, capsys):
+        scrambled, base = circuit_files
+        assert main(["match", scrambled, base, "--equivalence", "N-N"]) == 2
+        assert "UNIQUE-SAT" in capsys.readouterr().err
+
+
+class TestDecide:
+    def test_decide_positive(self, circuit_files, capsys):
+        scrambled, base = circuit_files
+        code = main(
+            ["decide", scrambled, base, "--equivalence", "NP-I", "--with-inverse"]
+            if False
+            else ["decide", scrambled, base, "--equivalence", "NP-I", "--seed", "1"]
+        )
+        assert code == 0
+        assert "equivalent: yes" in capsys.readouterr().out
+
+    def test_decide_negative(self, tmp_path, capsys):
+        first = library.increment(3)
+        second = library.gray_code(3)
+        path1, path2 = tmp_path / "a.real", tmp_path / "b.real"
+        io.write_real(first, path1)
+        io.write_real(second, path2)
+        code = main(["decide", str(path1), str(path2), "--equivalence", "I-N"])
+        assert code == 1
+        assert "equivalent: no" in capsys.readouterr().out
+
+
+class TestSynth:
+    def test_synth_prints_and_writes(self, tmp_path, capsys):
+        output = tmp_path / "synth.real"
+        code = main(
+            ["synth", "--permutation", "0,3,1,2", "--output", str(output), "--ascii"]
+        )
+        assert code == 0
+        assert output.exists()
+        text = capsys.readouterr().out
+        assert "synthesised" in text
+        circuit = io.read_real(output)
+        assert circuit.truth_table() == [0, 3, 1, 2]
+
+    def test_synth_invalid_permutation(self, capsys):
+        assert main(["synth", "--permutation", "0,0,1,2"]) == 2
+        assert "error" in capsys.readouterr().err

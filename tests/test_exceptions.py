@@ -1,0 +1,58 @@
+"""Unit tests for the exception hierarchy and package metadata."""
+
+from __future__ import annotations
+
+import repro
+from repro import exceptions
+
+
+class TestHierarchy:
+    def test_all_exceptions_derive_from_repro_error(self):
+        for name in exceptions.__all__:
+            cls = getattr(exceptions, name)
+            assert issubclass(cls, exceptions.ReproError)
+
+    def test_specific_parentage(self):
+        assert issubclass(exceptions.GateError, exceptions.CircuitError)
+        assert issubclass(
+            exceptions.InverseUnavailableError, exceptions.OracleError
+        )
+        assert issubclass(
+            exceptions.QueryBudgetExceededError, exceptions.OracleError
+        )
+        assert issubclass(
+            exceptions.PromiseViolationError, exceptions.MatchingError
+        )
+        assert issubclass(
+            exceptions.UnsupportedEquivalenceError, exceptions.MatchingError
+        )
+
+    def test_catching_the_base_class_catches_everything(self):
+        try:
+            raise exceptions.SynthesisError("boom")
+        except exceptions.ReproError as error:
+            assert "boom" in str(error)
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_exports_resolve(self):
+        for module in (
+            repro.circuits,
+            repro.core,
+            repro.quantum,
+            repro.sat,
+            repro.synthesis,
+            repro.oracles,
+            repro.baselines,
+            repro.analysis,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None
