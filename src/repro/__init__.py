@@ -45,7 +45,14 @@ from repro import (
     sat,
     synthesis,
 )
-from repro.core import EquivalenceType, MatchingResult, match
+from repro.core import (
+    BatchReport,
+    EquivalenceType,
+    MatchingConfig,
+    MatchingEngine,
+    MatchingResult,
+    match,
+)
 from repro.version import __version__
 
 __all__ = [
@@ -59,6 +66,9 @@ __all__ = [
     "synthesis",
     "EquivalenceType",
     "MatchingResult",
+    "MatchingEngine",
+    "MatchingConfig",
+    "BatchReport",
     "match",
     "__version__",
 ]

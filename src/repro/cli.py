@@ -1,20 +1,26 @@
 """Command-line interface.
 
-Four sub-commands cover the workflows a user of the library reaches for most
+Five sub-commands cover the workflows a user of the library reaches for most
 often without writing Python:
 
 * ``repro info CIRCUIT.real`` — line/gate counts, cost metrics and an ASCII
   drawing of a circuit file;
 * ``repro match C1.real C2.real --equivalence NP-I`` — run the Boolean
   matcher of a tractable class and print the witnesses;
+* ``repro match-many MANIFEST`` — batch matching over a manifest of circuit
+  pairs through :meth:`~repro.core.MatchingEngine.match_many`, printing the
+  per-pair table and aggregate query totals of the
+  :class:`~repro.core.BatchReport`;
 * ``repro decide C1.real C2.real --equivalence NP-I`` — the non-promise
   decision (match + validate);
 * ``repro synth --permutation 0,3,1,2 [--output out.real]`` — synthesise an
   MCT circuit for an explicitly given permutation.
 
-Circuit files may be RevLib ``.real`` or OpenQASM (chosen by extension).
-The module is importable (``python -m repro ...``) and also exposed through
-the ``repro`` console script.
+Matching commands accept ``--no-quantum`` (forbid the simulated quantum
+matchers) and ``--budget N`` (hard oracle query budget).  Circuit files may
+be RevLib ``.real`` or OpenQASM (chosen by extension).  The module is
+importable (``python -m repro ...``) and also exposed through the ``repro``
+console script.
 """
 
 from __future__ import annotations
@@ -27,10 +33,14 @@ from repro.circuits import drawing, metrics
 from repro.circuits.circuit import ReversibleCircuit
 from repro.circuits.io import qasm, real
 from repro.circuits.permutation import Permutation
-from repro.core import EquivalenceType, match, verify_match
+from repro.core import (
+    EquivalenceType,
+    MatchingConfig,
+    MatchingEngine,
+    verify_match,
+)
 from repro.core.decision import decide
 from repro.exceptions import ReproError
-from repro.oracles import CircuitOracle
 from repro.synthesis import synthesize
 from repro.version import __version__
 
@@ -87,23 +97,24 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_from_args(args: argparse.Namespace) -> MatchingEngine:
+    """Build a configured engine from the shared matching flags."""
+    return MatchingEngine(
+        MatchingConfig(
+            epsilon=args.epsilon,
+            allow_quantum=not args.no_quantum,
+            with_inverse=getattr(args, "with_inverse", False),
+            max_queries=getattr(args, "budget", None),
+        )
+    )
+
+
 def _cmd_match(args: argparse.Namespace) -> int:
     c1 = _load_circuit(args.circuit1)
     c2 = _load_circuit(args.circuit2)
     equivalence = EquivalenceType.from_label(args.equivalence)
-    if args.with_inverse:
-        target1 = CircuitOracle(c1, with_inverse=True)
-        target2 = CircuitOracle(c2, with_inverse=True)
-    else:
-        target1, target2 = c1, c2
-    result = match(
-        target1,
-        target2,
-        equivalence,
-        epsilon=args.epsilon,
-        rng=args.seed,
-        allow_quantum=not args.no_quantum,
-    )
+    engine = _engine_from_args(args)
+    result = engine.match(c1, c2, equivalence, rng=args.seed)
     print(f"equivalence : {equivalence.label}")
     print(_format_witnesses(result))
     if args.verify:
@@ -111,6 +122,60 @@ def _cmd_match(args: argparse.Namespace) -> int:
         print(f"verified    : {'PASS' if ok else 'FAIL'}")
         return 0 if ok else 1
     return 0
+
+
+def _read_manifest(
+    path: str, default_equivalence: str
+) -> list[tuple[str, str, str]]:
+    """Parse a match-many manifest: ``C1 C2 [EQUIVALENCE]`` per line.
+
+    Blank lines and ``#`` comments are skipped; the default class applies to
+    two-column lines.
+    """
+    rows: list[tuple[str, str, str]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            fields = line.split()
+            if len(fields) == 2:
+                label = default_equivalence
+            elif len(fields) == 3:
+                label = fields[2]
+            else:
+                raise ReproError(
+                    f"{path}:{lineno}: expected 'C1 C2 [EQUIVALENCE]', got "
+                    f"{len(fields)} fields"
+                )
+            try:
+                EquivalenceType.from_label(label)
+            except ValueError as error:
+                raise ReproError(f"{path}:{lineno}: {error}") from None
+            rows.append((fields[0], fields[1], label))
+    if not rows:
+        raise ReproError(f"{path}: manifest lists no circuit pairs")
+    return rows
+
+
+def _cmd_match_many(args: argparse.Namespace) -> int:
+    rows = _read_manifest(args.manifest, args.equivalence)
+    # Load each distinct file once so the engine's coercion cache (keyed by
+    # object identity) is shared across every pair the circuit appears in.
+    circuits: dict[str, ReversibleCircuit] = {}
+    for path1, path2, _ in rows:
+        for path in (path1, path2):
+            if path not in circuits:
+                circuits[path] = _load_circuit(path)
+    pairs = [
+        (circuits[path1], circuits[path2], label) for path1, path2, label in rows
+    ]
+    engine = _engine_from_args(args)
+    report = engine.match_many(pairs, rng=args.seed)
+    print(report.to_table(title=f"batch of {report.num_pairs} pairs"))
+    print()
+    print(report.summary())
+    return 0 if report.num_failed == 0 else 1
 
 
 def _cmd_decide(args: argparse.Namespace) -> int:
@@ -162,9 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--ascii", action="store_true", help="pure-ASCII glyphs")
     info.set_defaults(handler=_cmd_info)
 
-    def add_matching_arguments(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("circuit1", help="path to C1")
-        sub.add_argument("circuit2", help="path to C2")
+    def add_matching_options(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--equivalence", "-e", default="NP-I", help="X-Y class (default NP-I)"
         )
@@ -176,17 +239,47 @@ def build_parser() -> argparse.ArgumentParser:
             help="disallow the simulated quantum matchers",
         )
 
+    def add_matching_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("circuit1", help="path to C1")
+        sub.add_argument("circuit2", help="path to C2")
+        add_matching_options(sub)
+
+    def add_engine_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--with-inverse",
+            action="store_true",
+            help="grant the matcher inverse-circuit access (Table 1 left column)",
+        )
+        sub.add_argument(
+            "--budget",
+            type=int,
+            default=None,
+            metavar="N",
+            help="hard per-oracle query budget (QueryBudgetExceededError beyond)",
+        )
+
     matcher = subparsers.add_parser("match", help="run a promise matcher")
     add_matching_arguments(matcher)
-    matcher.add_argument(
-        "--with-inverse",
-        action="store_true",
-        help="grant the matcher inverse-circuit access (Table 1 left column)",
-    )
+    add_engine_arguments(matcher)
     matcher.add_argument(
         "--verify", action="store_true", help="exhaustively verify the witnesses"
     )
     matcher.set_defaults(handler=_cmd_match)
+
+    many = subparsers.add_parser(
+        "match-many",
+        help="batch matching over a manifest of circuit pairs",
+        description=(
+            "Each manifest line names 'C1 C2 [EQUIVALENCE]'; blank lines and "
+            "# comments are skipped.  Pairs without an explicit class use "
+            "--equivalence.  Prints the per-pair BatchReport table plus "
+            "aggregate classical/quantum query totals."
+        ),
+    )
+    many.add_argument("manifest", help="path to the circuit-pair manifest")
+    add_matching_options(many)
+    add_engine_arguments(many)
+    many.set_defaults(handler=_cmd_match_many)
 
     decider = subparsers.add_parser("decide", help="non-promise decision")
     add_matching_arguments(decider)

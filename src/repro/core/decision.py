@@ -18,7 +18,7 @@ import random as _random
 from dataclasses import dataclass
 
 from repro.circuits.circuit import ReversibleCircuit
-from repro.core.dispatcher import match
+from repro.core.engine import get_default_engine
 from repro.core.equivalence import EquivalenceType, Hardness, classify
 from repro.core.problem import MatchingResult
 from repro.core.verify import verify_match
@@ -88,6 +88,7 @@ def decide(
     if exhaustive_validation is None:
         exhaustive_validation = c1.num_lines <= 16
 
+    engine = get_default_engine()
     hardness = classify(equivalence)
     if hardness is Hardness.UNIQUE_SAT_HARD:
         if not allow_brute_force:
@@ -95,10 +96,11 @@ def decide(
                 f"{equivalence.label} is UNIQUE-SAT-hard; pass "
                 "allow_brute_force=True to run the exponential search"
             )
-        from repro.baselines.brute_force import brute_force_match
-
         try:
-            result = brute_force_match(c1, c2, equivalence, rng=rng)
+            # Resolves to the registry's opt-in brute-force tier.
+            result = engine.match(
+                c1, c2, equivalence, rng=rng, allow_brute_force=True
+            )
         except MatchingError:
             return DecisionOutcome(
                 equivalent=False, result=None, exhaustive=True
@@ -106,7 +108,7 @@ def decide(
         return DecisionOutcome(equivalent=True, result=result, exhaustive=True)
 
     try:
-        result = match(
+        result = engine.match(
             c1,
             c2,
             equivalence,

@@ -1,41 +1,26 @@
-"""The top-level :func:`match` entry point.
+"""The top-level :func:`match` entry point (thin engine wrapper).
 
-Dispatches a matching request to the algorithm appropriate for the
-equivalence class and the available resources (inverse oracles, quantum
-access).  Hard classes raise :class:`UnsupportedEquivalenceError` with a
-pointer to the hardness reductions and the brute-force baselines — exactly
-the situation Section 5 of the paper establishes.
+Historically this module was a hand-rolled if/elif ladder over the 16
+equivalence classes.  Dispatch now lives in the capability-based registry
+(:mod:`repro.core.registry`) behind the :class:`~repro.core.engine.MatchingEngine`
+facade; :func:`match` survives, signature and semantics unchanged, as a thin
+wrapper over a shared default engine so existing callers keep working.  Hard
+classes raise :class:`~repro.exceptions.UnsupportedEquivalenceError` with a
+message generated from the registry — what is registered for the class and
+which capability each entry is missing — exactly the situation Section 5 of
+the paper establishes.
 """
 
 from __future__ import annotations
 
 import random as _random
 
-from repro.core.equivalence import EquivalenceType, Hardness, classify
-from repro.core.matchers import (
-    match_i_i,
-    match_i_n,
-    match_i_np,
-    match_i_p,
-    match_n_i,
-    match_n_i_quantum,
-    match_n_p,
-    match_np_i,
-    match_p_i,
-    match_p_n,
-)
+from repro.core.engine import get_default_engine
+from repro.core.equivalence import EquivalenceType
 from repro.core.problem import MatchingResult
-from repro.exceptions import UnsupportedEquivalenceError
-from repro.oracles.oracle import ReversibleOracle, as_oracle
 from repro.quantum.swap_test import SwapTest
 
 __all__ = ["match"]
-
-
-def _has_inverse(target) -> bool:
-    if isinstance(target, ReversibleOracle):
-        return target.has_inverse
-    return False
 
 
 def match(
@@ -75,61 +60,13 @@ def match(
             N-P without both inverses, and for N-I/NP-I without inverses when
             quantum access is disallowed.
     """
-    if isinstance(equivalence, str):
-        equivalence = EquivalenceType.from_label(equivalence)
-
-    hardness = classify(equivalence)
-    if hardness is Hardness.UNIQUE_SAT_HARD:
-        raise UnsupportedEquivalenceError(
-            f"{equivalence.label} matching is no easier than UNIQUE-SAT "
-            "(Theorems 2 and 3); see repro.core.hardness for the reductions "
-            "and repro.baselines.brute_force for exponential search"
-        )
-
-    if equivalence is EquivalenceType.I_I:
-        return match_i_i(circuit1, circuit2)
-    if equivalence is EquivalenceType.I_N:
-        return match_i_n(circuit1, circuit2)
-    if equivalence is EquivalenceType.I_P:
-        return match_i_p(circuit1, circuit2, epsilon=epsilon, rng=rng)
-    if equivalence is EquivalenceType.I_NP:
-        return match_i_np(circuit1, circuit2, epsilon=epsilon, rng=rng)
-    if equivalence is EquivalenceType.P_I:
-        return match_p_i(circuit1, circuit2)
-    if equivalence is EquivalenceType.P_N:
-        return match_p_n(circuit1, circuit2)
-    if equivalence is EquivalenceType.N_P:
-        return match_n_p(circuit1, circuit2)
-
-    inverse_available = _has_inverse(circuit1) or _has_inverse(circuit2)
-    if equivalence is EquivalenceType.N_I:
-        if inverse_available:
-            return match_n_i(circuit1, circuit2)
-        if allow_quantum:
-            return match_n_i_quantum(
-                circuit1, circuit2, epsilon=epsilon, rng=rng, swap_test=swap_test
-            )
-        raise UnsupportedEquivalenceError(
-            "N-I without inverse access needs the quantum algorithm "
-            "(allow_quantum=True) or the exponential classical baseline"
-        )
-    if equivalence is EquivalenceType.NP_I:
-        if inverse_available:
-            return match_np_i(circuit1, circuit2, epsilon=epsilon, rng=rng)
-        if allow_quantum:
-            return match_np_i(
-                circuit1, circuit2, epsilon=epsilon, rng=rng, swap_test=swap_test
-            )
-        raise UnsupportedEquivalenceError(
-            "NP-I without inverse access needs the quantum algorithm "
-            "(allow_quantum=True) or the exponential classical baseline"
-        )
-
-    raise UnsupportedEquivalenceError(  # pragma: no cover - exhaustive above
-        f"no matcher registered for {equivalence.label}"
+    return get_default_engine().match(
+        circuit1,
+        circuit2,
+        equivalence,
+        epsilon=epsilon,
+        rng=rng,
+        allow_quantum=allow_quantum,
+        allow_brute_force=False,
+        swap_test=swap_test,
     )
-
-
-def _coerce_pair(circuit1, circuit2) -> tuple[ReversibleOracle, ReversibleOracle]:
-    """Internal helper kept for API symmetry (oracles coerced lazily)."""
-    return as_oracle(circuit1), as_oracle(circuit2)

@@ -1,9 +1,14 @@
 """Boolean matchers for the tractable equivalence classes (Section 4).
 
 One module per equivalence class; every matcher takes the two circuits (or
-oracles) and returns a :class:`~repro.core.problem.MatchingResult`.  The
-matchers choose the regime (inverse available / unavailable) from the
-oracles they are handed, mirroring the rows of Table 1:
+oracles) and returns a :class:`~repro.core.problem.MatchingResult`.  Each
+module additionally registers its algorithm(s) into the capability-based
+:mod:`repro.core.registry` under the uniform
+``matcher(oracle1, oracle2, problem, ctx)`` signature — importing this
+package populates the default registry, and :mod:`repro.core.matchers.fallback`
+adds the opt-in brute-force tier for every nontrivial class.  The matchers
+choose the regime (inverse available / unavailable) from the oracles they
+are handed, mirroring the rows of Table 1:
 
 ====================  =======================================  =====================
 class                 inverse available                        inverse unavailable
@@ -21,6 +26,7 @@ N-P                   O(log n) classical (both inverses)       open problem
 
 from __future__ import annotations
 
+from repro.core.matchers import fallback
 from repro.core.matchers.i_i import match_i_i
 from repro.core.matchers.i_n import match_i_n
 from repro.core.matchers.i_np import match_i_np
@@ -32,6 +38,7 @@ from repro.core.matchers.p_i import match_p_i
 from repro.core.matchers.p_n import match_p_n
 
 __all__ = [
+    "fallback",
     "match_i_i",
     "match_i_n",
     "match_i_p",

@@ -10,7 +10,8 @@ from __future__ import annotations
 from repro.bits import int_to_bits
 from repro.core.equivalence import EquivalenceType
 from repro.core.matchers._sequences import QuerySnapshot
-from repro.core.problem import MatchingResult
+from repro.core.problem import MatchContext, MatchingProblem, MatchingResult
+from repro.core.registry import MatcherKind, register_matcher
 from repro.oracles.oracle import as_oracle
 
 __all__ = ["match_i_n"]
@@ -37,3 +38,17 @@ def match_i_n(circuit1, circuit2) -> MatchingResult:
         queries=snapshot.queries,
         metadata={"regime": "classical"},
     )
+
+
+@register_matcher(
+    EquivalenceType.I_N,
+    kind=MatcherKind.EXACT,
+    cost_rank=1,
+    cost="O(1)",
+    name="i-n/zero-probe",
+)
+def _registered_i_n(
+    oracle1, oracle2, problem: MatchingProblem, ctx: MatchContext
+) -> MatchingResult:
+    """Registry adapter: uniform signature over :func:`match_i_n`."""
+    return match_i_n(oracle1, oracle2)

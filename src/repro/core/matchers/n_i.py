@@ -24,7 +24,8 @@ from repro.circuits.circuit import ReversibleCircuit
 from repro.circuits.permutation import Permutation
 from repro.core.equivalence import EquivalenceType
 from repro.core.matchers._sequences import QuerySnapshot, repetitions_for_swap_test
-from repro.core.problem import MatchingResult
+from repro.core.problem import MatchContext, MatchingProblem, MatchingResult
+from repro.core.registry import Capability, MatcherKind, register_matcher
 from repro.exceptions import MatchingError, UnsupportedEquivalenceError
 from repro.oracles.oracle import CircuitOracle, PermutationOracle, as_oracle
 from repro.quantum.oracle import QuantumCircuitOracle
@@ -39,22 +40,24 @@ __all__ = [
 ]
 
 
-def as_quantum_oracle(target) -> QuantumCircuitOracle:
+def as_quantum_oracle(target, max_queries: int | None = None) -> QuantumCircuitOracle:
     """Coerce a circuit, permutation or oracle into a quantum oracle.
 
     Classical :class:`CircuitOracle`/:class:`PermutationOracle` wrappers are
     unwrapped through their white-box escape hatch (the simulator needs the
     underlying function); opaque function oracles cannot be lifted and raise
-    :class:`MatchingError`.
+    :class:`MatchingError`.  Pre-built quantum oracles pass through
+    unchanged (their own budget wins); otherwise ``max_queries`` becomes a
+    hard quantum-query budget on the built oracle.
     """
     if isinstance(target, QuantumCircuitOracle):
         return target
     if isinstance(target, (ReversibleCircuit, Permutation)):
-        return QuantumCircuitOracle(target)
+        return QuantumCircuitOracle(target, max_queries=max_queries)
     if isinstance(target, CircuitOracle):
-        return QuantumCircuitOracle(target.circuit)
+        return QuantumCircuitOracle(target.circuit, max_queries=max_queries)
     if isinstance(target, PermutationOracle):
-        return QuantumCircuitOracle(target.permutation)
+        return QuantumCircuitOracle(target.permutation, max_queries=max_queries)
     raise MatchingError(
         f"cannot build a quantum oracle from {type(target).__name__}; pass a "
         "circuit, permutation or QuantumCircuitOracle"
@@ -221,4 +224,68 @@ def match_n_i_simon(
             "regime": "quantum-simon",
             "simon_rounds": xor_oracle.query_count,
         },
+    )
+
+
+@register_matcher(
+    EquivalenceType.N_I,
+    requires={Capability.INVERSE},
+    kind=MatcherKind.EXACT,
+    cost_rank=0,
+    cost="O(1)",
+    name="n-i/inverse-probe",
+)
+def _registered_n_i(
+    oracle1, oracle2, problem: MatchingProblem, ctx: MatchContext
+) -> MatchingResult:
+    """Registry adapter: uniform signature over :func:`match_n_i`."""
+    return match_n_i(oracle1, oracle2)
+
+
+@register_matcher(
+    EquivalenceType.N_I,
+    requires={Capability.QUANTUM},
+    kind=MatcherKind.QUANTUM,
+    cost_rank=100,
+    cost="O(n log 1/eps)",
+    name="n-i/swap-test",
+)
+def _registered_n_i_quantum(
+    oracle1, oracle2, problem: MatchingProblem, ctx: MatchContext
+) -> MatchingResult:
+    """Registry adapter: Algorithm 1 (swap-test N-I matching).
+
+    Lifts to quantum oracles here so the context's query budget carries
+    over to the quantum tier.
+    """
+    return match_n_i_quantum(
+        as_quantum_oracle(oracle1, max_queries=ctx.max_queries),
+        as_quantum_oracle(oracle2, max_queries=ctx.max_queries),
+        epsilon=ctx.epsilon,
+        rng=ctx.rng,
+        swap_test=ctx.swap_test,
+    )
+
+
+@register_matcher(
+    EquivalenceType.N_I,
+    requires={Capability.QUANTUM},
+    kind=MatcherKind.QUANTUM,
+    cost_rank=110,
+    cost="O(n)",
+    name="n-i/simon",
+)
+def _registered_n_i_simon(
+    oracle1, oracle2, problem: MatchingProblem, ctx: MatchContext
+) -> MatchingResult:
+    """Registry adapter: the Simon's-algorithm variant (footnote 2).
+
+    Ranked after the swap test so declarative resolution never picks it by
+    default; reachable explicitly through ``registry.get(...)`` or an
+    engine override.
+    """
+    return match_n_i_simon(
+        as_quantum_oracle(oracle1, max_queries=ctx.max_queries),
+        as_quantum_oracle(oracle2, max_queries=ctx.max_queries),
+        rng=ctx.rng,
     )

@@ -26,7 +26,8 @@ from repro.core.matchers._sequences import (
     repetitions_for_swap_test,
 )
 from repro.core.matchers.n_i import as_quantum_oracle
-from repro.core.problem import MatchingResult
+from repro.core.problem import MatchContext, MatchingProblem, MatchingResult
+from repro.core.registry import Capability, MatcherKind, register_matcher
 from repro.exceptions import MatchingError, PromiseViolationError
 from repro.oracles.oracle import as_oracle
 from repro.quantum.statevector import MINUS, PLUS, ZERO, product_state
@@ -188,4 +189,46 @@ def match_np_i_quantum(
             "repetitions": repetitions,
             "infer_last_candidate": infer_last_candidate,
         },
+    )
+
+
+@register_matcher(
+    EquivalenceType.NP_I,
+    requires={Capability.INVERSE},
+    kind=MatcherKind.EXACT,
+    cost_rank=13,
+    cost="O(log n)",
+    name="np-i/binary-code",
+)
+def _registered_np_i(
+    oracle1, oracle2, problem: MatchingProblem, ctx: MatchContext
+) -> MatchingResult:
+    """Registry adapter: uniform signature over :func:`match_np_i`."""
+    return match_np_i(
+        oracle1, oracle2, epsilon=ctx.epsilon, rng=ctx.rng, swap_test=ctx.swap_test
+    )
+
+
+@register_matcher(
+    EquivalenceType.NP_I,
+    requires={Capability.QUANTUM},
+    kind=MatcherKind.QUANTUM,
+    cost_rank=200,
+    cost="O(n^2 log 1/eps)",
+    name="np-i/swap-test",
+)
+def _registered_np_i_quantum(
+    oracle1, oracle2, problem: MatchingProblem, ctx: MatchContext
+) -> MatchingResult:
+    """Registry adapter: Section 4.6 quantum NP-I matching.
+
+    Lifts to quantum oracles here so the context's query budget carries
+    over to the quantum tier.
+    """
+    return match_np_i_quantum(
+        as_quantum_oracle(oracle1, max_queries=ctx.max_queries),
+        as_quantum_oracle(oracle2, max_queries=ctx.max_queries),
+        epsilon=ctx.epsilon,
+        rng=ctx.rng,
+        swap_test=ctx.swap_test,
     )

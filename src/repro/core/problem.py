@@ -1,20 +1,28 @@
-"""Problem and result types for Boolean matching.
+"""Problem, context and result types for Boolean matching.
 
-A matcher consumes two oracles and an :class:`~repro.core.equivalence.EquivalenceType`
-and produces a :class:`MatchingResult`: the negation/permutation witnesses of
-Problem 1 plus the query accounting the complexity experiments need.
+A matcher consumes two oracles, a :class:`MatchingProblem` (what is promised)
+and a :class:`MatchContext` (which runtime resources/knobs apply) and
+produces a :class:`MatchingResult`: the negation/permutation witnesses of
+Problem 1 plus the query accounting the complexity experiments need.  The
+uniform ``matcher(oracle1, oracle2, problem, ctx)`` signature is what the
+:mod:`repro.core.registry` dispatches on.
 """
 
 from __future__ import annotations
 
+import random as _random
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.circuits.line_permutation import LinePermutation
 from repro.core.equivalence import EquivalenceType
 from repro.exceptions import MatchingError
 
-__all__ = ["MatchingProblem", "MatchingResult"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.quantum.swap_test import SwapTest
+
+__all__ = ["MatchingProblem", "MatchContext", "MatchingResult"]
 
 
 @dataclass(frozen=True)
@@ -32,6 +40,38 @@ class MatchingProblem:
     num_lines: int
     with_inverse: bool = False
     epsilon: float = 1e-3
+
+
+@dataclass
+class MatchContext:
+    """Runtime resources handed to a registered matcher.
+
+    The registry gives every matcher one uniform signature; whatever used to
+    travel as ad-hoc keyword arguments (randomness, a pre-configured swap
+    test, the failure budget, a query budget) travels here instead.
+
+    Attributes:
+        epsilon: admissible failure probability for randomised/quantum
+            matchers.
+        rng: randomness source (seed or ``random.Random``) for
+            repeatability; ``None`` draws fresh randomness.
+        swap_test: optionally a pre-configured
+            :class:`~repro.quantum.swap_test.SwapTest` instance.
+        max_queries: optional hard per-oracle query budget for oracles
+            built on behalf of this request: the engine applies it when
+            coercing classical oracles, and the quantum adapters apply it
+            when lifting to quantum oracles.  Pre-built oracles keep their
+            own budget.
+        allow_quantum: permit the simulated quantum matchers.
+        allow_brute_force: permit the exponential brute-force fallback.
+    """
+
+    epsilon: float = 1e-3
+    rng: _random.Random | int | None = None
+    swap_test: "SwapTest | None" = None
+    max_queries: int | None = None
+    allow_quantum: bool = True
+    allow_brute_force: bool = False
 
 
 @dataclass

@@ -1,0 +1,339 @@
+"""Capability-based matcher registry.
+
+The paper's Table 1 is a *capability matrix*: which X-Y equivalence classes
+are tractable given which resources (inverse oracles, randomness, quantum
+swap-test access).  This module makes that matrix executable.  Each matching
+algorithm registers itself against an :class:`EquivalenceType` together with
+
+* the :class:`Capability` set it *requires* (inverse access, quantum access,
+  an explicit brute-force opt-in),
+* its :class:`MatcherKind` (exact / randomised / quantum / brute force), and
+* a ``cost_rank`` ordering matchers of the same kind by query cost.
+
+Dispatch then becomes declarative resolution: given the capabilities
+detected on a concrete oracle pair (:func:`detect_capabilities`), the
+registry picks the cheapest eligible matcher along the explicit fallback
+chain **exact -> randomised -> quantum -> (opt-in) brute force**.  When no
+registered matcher is eligible the registry *generates* the
+:class:`~repro.exceptions.UnsupportedEquivalenceError` message from its own
+contents — what is registered, what each entry would need — instead of a
+hand-written string per branch.
+
+Registered matchers all share one uniform signature::
+
+    matcher(oracle1, oracle2, problem: MatchingProblem, ctx: MatchContext)
+        -> MatchingResult
+
+where the oracles have already been coerced by the caller (the
+:class:`~repro.core.engine.MatchingEngine` does this in exactly one place)
+and :class:`~repro.core.problem.MatchContext` carries the runtime knobs
+(rng, swap test, epsilon, query budget).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.equivalence import EquivalenceType, Hardness, classify
+from repro.exceptions import MatchingError, UnsupportedEquivalenceError
+from repro.oracles.oracle import ReversibleOracle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.problem import MatchContext, MatchingProblem, MatchingResult
+
+__all__ = [
+    "Capability",
+    "MatcherKind",
+    "MatcherSpec",
+    "MatcherRegistry",
+    "register_matcher",
+    "default_registry",
+    "detect_capabilities",
+]
+
+
+class Capability(enum.Enum):
+    """A resource a matcher may require (the columns of Table 1)."""
+
+    #: At least one oracle exposes its inverse circuit.
+    INVERSE = "inverse"
+    #: Both oracles expose their inverse circuits (the ``**`` footnote: N-P).
+    BOTH_INVERSES = "both-inverses"
+    #: Simulated quantum access (swap tests / superposition queries) allowed.
+    QUANTUM = "quantum"
+    #: The caller explicitly opted into exponential brute-force search.
+    BRUTE_FORCE = "brute-force"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class MatcherKind(enum.Enum):
+    """The paradigm of a registered matcher; also its fallback-chain tier."""
+
+    EXACT = "exact"
+    RANDOMIZED = "randomized"
+    QUANTUM = "quantum"
+    BRUTE_FORCE = "brute-force"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Fallback-chain position: exact before randomised before quantum before
+#: the (opt-in) brute-force baseline.
+_KIND_ORDER: dict[MatcherKind, int] = {
+    MatcherKind.EXACT: 0,
+    MatcherKind.RANDOMIZED: 1,
+    MatcherKind.QUANTUM: 2,
+    MatcherKind.BRUTE_FORCE: 3,
+}
+
+MatcherFunc = Callable[..., "MatchingResult"]
+
+
+@dataclass(frozen=True)
+class MatcherSpec:
+    """One registered matching algorithm.
+
+    Attributes:
+        equivalence: the X-Y class the matcher solves.
+        name: unique (per class) identifier, e.g. ``"n-i/swap-test"``.
+        func: the matcher with the uniform
+            ``(oracle1, oracle2, problem, ctx)`` signature.
+        requires: capabilities that must all be present for eligibility.
+        kind: paradigm / fallback tier.
+        cost_rank: tie-breaker among eligible matchers of the same kind
+            (lower is cheaper).
+        cost: human-readable query complexity, e.g. ``"O(log n)"``.
+    """
+
+    equivalence: EquivalenceType
+    name: str
+    func: MatcherFunc
+    requires: frozenset[Capability]
+    kind: MatcherKind
+    cost_rank: int
+    cost: str = "?"
+
+    def supports(self, capabilities: Iterable[Capability]) -> bool:
+        """Whether every required capability is present."""
+        return self.requires <= frozenset(capabilities)
+
+    def missing(self, capabilities: Iterable[Capability]) -> frozenset[Capability]:
+        """The required capabilities not present in ``capabilities``."""
+        return self.requires - frozenset(capabilities)
+
+    @property
+    def sort_key(self) -> tuple[int, int, str]:
+        """Resolution order: fallback tier, then cost, then name."""
+        return (_KIND_ORDER[self.kind], self.cost_rank, self.name)
+
+    def __call__(self, oracle1, oracle2, problem, ctx) -> "MatchingResult":
+        return self.func(oracle1, oracle2, problem, ctx)
+
+    def describe(self) -> str:
+        """One-line rendering used in registry-generated error messages."""
+        needs = (
+            "no extra capabilities"
+            if not self.requires
+            else "requires {" + ", ".join(sorted(c.value for c in self.requires)) + "}"
+        )
+        return f"{self.name} [{self.kind.value}, {self.cost}] {needs}"
+
+
+@dataclass
+class MatcherRegistry:
+    """A mapping from equivalence classes to their registered matchers."""
+
+    _specs: dict[EquivalenceType, dict[str, MatcherSpec]] = field(
+        default_factory=dict
+    )
+
+    # -- registration ----------------------------------------------------------
+    def register(self, spec: MatcherSpec, replace: bool = False) -> MatcherSpec:
+        """Add a spec; duplicate names per class raise unless ``replace``."""
+        per_class = self._specs.setdefault(spec.equivalence, {})
+        if spec.name in per_class and not replace:
+            raise MatchingError(
+                f"matcher {spec.name!r} already registered for "
+                f"{spec.equivalence.label}"
+            )
+        per_class[spec.name] = spec
+        return spec
+
+    def register_matcher(
+        self,
+        equivalence: EquivalenceType,
+        *,
+        requires: Iterable[Capability] = (),
+        kind: MatcherKind,
+        cost_rank: int,
+        cost: str = "?",
+        name: str | None = None,
+        replace: bool = False,
+    ) -> Callable[[MatcherFunc], MatcherFunc]:
+        """Decorator registering a uniform-signature matcher function."""
+
+        def decorator(func: MatcherFunc) -> MatcherFunc:
+            spec = MatcherSpec(
+                equivalence=equivalence,
+                name=name or func.__name__.strip("_").replace("_", "-"),
+                func=func,
+                requires=frozenset(requires),
+                kind=kind,
+                cost_rank=cost_rank,
+                cost=cost,
+            )
+            self.register(spec, replace=replace)
+            return func
+
+        return decorator
+
+    # -- queries ---------------------------------------------------------------
+    def equivalences(self) -> tuple[EquivalenceType, ...]:
+        """The classes with at least one registered matcher."""
+        return tuple(sorted(self._specs, key=lambda eq: eq.label))
+
+    def candidates(self, equivalence: EquivalenceType) -> tuple[MatcherSpec, ...]:
+        """All specs for a class, in resolution (fallback-chain) order."""
+        per_class = self._specs.get(equivalence, {})
+        return tuple(sorted(per_class.values(), key=lambda spec: spec.sort_key))
+
+    def get(self, equivalence: EquivalenceType, name: str) -> MatcherSpec:
+        """Look up one spec by class and name."""
+        try:
+            return self._specs[equivalence][name]
+        except KeyError:
+            raise MatchingError(
+                f"no matcher named {name!r} registered for {equivalence.label}"
+            ) from None
+
+    # -- resolution ------------------------------------------------------------
+    def resolve(
+        self,
+        equivalence: EquivalenceType,
+        capabilities: Iterable[Capability],
+    ) -> MatcherSpec:
+        """Pick the cheapest eligible matcher for the detected capabilities.
+
+        Raises:
+            UnsupportedEquivalenceError: when nothing is eligible; the
+                message is generated from the registry contents.
+        """
+        capability_set = frozenset(capabilities)
+        for spec in self.candidates(equivalence):
+            if spec.supports(capability_set):
+                return spec
+        raise UnsupportedEquivalenceError(self.explain(equivalence, capability_set))
+
+    def explain(
+        self,
+        equivalence: EquivalenceType,
+        capabilities: Iterable[Capability],
+    ) -> str:
+        """Why no matcher is eligible, derived from the registered specs."""
+        capability_set = frozenset(capabilities)
+        hardness = classify(equivalence)
+        have = (
+            "{" + ", ".join(sorted(c.value for c in capability_set)) + "}"
+            if capability_set
+            else "{}"
+        )
+        lines = [
+            f"no {equivalence.label} matcher is eligible with capabilities "
+            f"{have} (class is {hardness.value})"
+        ]
+        specs = self.candidates(equivalence)
+        if not specs:
+            lines.append("no matcher is registered for this class at all")
+        for spec in specs:
+            missing = spec.missing(capability_set)
+            lines.append(
+                f"  - {spec.describe()}; missing "
+                "{" + ", ".join(sorted(c.value for c in missing)) + "}"
+            )
+        if hardness is Hardness.UNIQUE_SAT_HARD:
+            lines.append(
+                "the class is no easier than UNIQUE-SAT (Theorems 2 and 3); "
+                "see repro.core.hardness for the reductions"
+            )
+        return "\n".join(lines)
+
+
+#: The process-wide registry the stock matchers register into on import.
+_DEFAULT_REGISTRY = MatcherRegistry()
+
+
+def default_registry() -> MatcherRegistry:
+    """The default registry (populated by importing ``repro.core.matchers``)."""
+    return _DEFAULT_REGISTRY
+
+
+def register_matcher(
+    equivalence: EquivalenceType,
+    *,
+    requires: Iterable[Capability] = (),
+    kind: MatcherKind,
+    cost_rank: int,
+    cost: str = "?",
+    name: str | None = None,
+    replace: bool = False,
+) -> Callable[[MatcherFunc], MatcherFunc]:
+    """Decorator registering a matcher into the default registry.
+
+    Usage::
+
+        @register_matcher(
+            EquivalenceType.N_I,
+            requires={Capability.INVERSE},
+            kind=MatcherKind.EXACT,
+            cost_rank=0,
+            cost="O(1)",
+            name="n-i/inverse-probe",
+        )
+        def _n_i_exact(oracle1, oracle2, problem, ctx):
+            ...
+    """
+    return _DEFAULT_REGISTRY.register_matcher(
+        equivalence,
+        requires=requires,
+        kind=kind,
+        cost_rank=cost_rank,
+        cost=cost,
+        name=name,
+        replace=replace,
+    )
+
+
+def detect_capabilities(
+    target1,
+    target2,
+    ctx: "MatchContext | None" = None,
+) -> frozenset[Capability]:
+    """Detect the capabilities a concrete oracle pair offers.
+
+    Inverse capabilities are read off the oracles (only classical
+    :class:`~repro.oracles.oracle.ReversibleOracle` instances can expose an
+    inverse); quantum access and the brute-force opt-in come from the
+    :class:`~repro.core.problem.MatchContext` flags.
+    """
+
+    def has_inverse(target) -> bool:
+        return isinstance(target, ReversibleOracle) and target.has_inverse
+
+    capabilities: set[Capability] = set()
+    inverse1 = has_inverse(target1)
+    inverse2 = has_inverse(target2)
+    if inverse1 or inverse2:
+        capabilities.add(Capability.INVERSE)
+    if inverse1 and inverse2:
+        capabilities.add(Capability.BOTH_INVERSES)
+    if ctx is None or ctx.allow_quantum:
+        capabilities.add(Capability.QUANTUM)
+    if ctx is not None and ctx.allow_brute_force:
+        capabilities.add(Capability.BRUTE_FORCE)
+    return frozenset(capabilities)
