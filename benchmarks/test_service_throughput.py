@@ -1,0 +1,107 @@
+"""Service throughput: pairs/sec serial vs. parallel vs. cached.
+
+Unlike the other benchmark modules, which reproduce per-pair *query
+counts* from the paper, this one measures the quantity the service layer
+exists for: batch throughput over a generated corpus.  Three backends run
+the same manifest —
+
+* serial execution (the baseline the per-pair numbers imply),
+* a 2-worker process pool (must produce identical records; wall-clock
+  gain depends on corpus size vs. pool startup cost),
+* a warm result cache (the repeated-workload regime: zero oracle queries).
+
+The per-backend pairs/sec figures are printed (``pytest -s``) and the
+wall-clock numbers land in the pytest-benchmark JSON, which CI uploads as
+an artifact so the trajectory tracks throughput over time.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.service.cache import build_cache
+from repro.service.executor import ParallelExecutor, SerialExecutor
+from repro.service.pipeline import MatchingService
+from repro.service.workload import generate_corpus
+
+#: Corpus shape: 8 tractable classes x 2 families x 2 pairs = 32 pairs.
+CORPUS_SEED = 20240601
+PAIRS_PER_CLASS = 2
+RUN_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    root = tmp_path_factory.mktemp("throughput_corpus")
+    generate_corpus(
+        root,
+        num_lines=4,
+        families=("random", "library"),
+        pairs_per_class=PAIRS_PER_CLASS,
+        seed=CORPUS_SEED,
+    )
+    return root
+
+
+def _report_throughput(title: str, reports) -> None:
+    rows = [
+        (
+            label,
+            report.total,
+            report.matched,
+            report.cache_hits,
+            f"{report.pairs_per_second:.1f}",
+        )
+        for label, report in reports
+    ]
+    emit(
+        title,
+        format_table(
+            ["backend", "pairs", "matched", "cached", "pairs/s"], rows
+        ),
+    )
+
+
+def test_serial_throughput(benchmark, corpus):
+    service = MatchingService(executor=SerialExecutor())
+    report = benchmark.pedantic(
+        lambda: service.run_manifest(corpus, seed=RUN_SEED), rounds=3, iterations=1
+    )
+    assert report.matched == report.total
+    _report_throughput("service throughput: serial", [("serial", report)])
+
+
+def test_parallel_throughput_matches_serial(benchmark, corpus):
+    serial = MatchingService(executor=SerialExecutor()).run_manifest(
+        corpus, seed=RUN_SEED
+    )
+    service = MatchingService(executor=ParallelExecutor(workers=2))
+    report = benchmark.pedantic(
+        lambda: service.run_manifest(corpus, seed=RUN_SEED), rounds=3, iterations=1
+    )
+    # Throughput must never come at the cost of reproducibility.
+    assert json.dumps(report.records, sort_keys=True) == json.dumps(
+        serial.records, sort_keys=True
+    )
+    _report_throughput(
+        "service throughput: parallel (2 workers)",
+        [("serial", serial), ("parallel", report)],
+    )
+
+
+def test_cached_throughput(benchmark, corpus):
+    service = MatchingService(cache=build_cache())
+    cold = service.run_manifest(corpus, seed=RUN_SEED)
+    report = benchmark.pedantic(
+        lambda: service.run_manifest(corpus, seed=RUN_SEED), rounds=3, iterations=1
+    )
+    assert report.cache_hits == report.total and report.executed == 0
+    assert report.classical_queries == 0 and report.quantum_queries == 0
+    _report_throughput(
+        "service throughput: warm cache",
+        [("cold", cold), ("cached", report)],
+    )

@@ -18,6 +18,10 @@ The package is organised around the paper's structure:
   and the UNIQUE-SAT hardness reductions of Section 5.
 * :mod:`repro.baselines` — brute-force and classical collision-search
   baselines against which the paper's algorithms are compared.
+* :mod:`repro.service` — the throughput layer: result caching keyed by
+  oracle fingerprints, serial/parallel execution backends, corpus
+  generation and the resumable :class:`~repro.service.MatchingService`
+  pipeline.
 * :mod:`repro.analysis` — scaling fits and report rendering for the
   benchmark harness.
 
@@ -43,6 +47,7 @@ from repro import (
     oracles,
     quantum,
     sat,
+    service,
     synthesis,
 )
 from repro.core import (
@@ -63,6 +68,7 @@ __all__ = [
     "oracles",
     "quantum",
     "sat",
+    "service",
     "synthesis",
     "EquivalenceType",
     "MatchingResult",

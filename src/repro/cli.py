@@ -1,7 +1,7 @@
 """Command-line interface.
 
-Five sub-commands cover the workflows a user of the library reaches for most
-often without writing Python:
+Seven sub-commands cover the workflows a user of the library reaches for
+most often without writing Python:
 
 * ``repro info CIRCUIT.real`` — line/gate counts, cost metrics and an ASCII
   drawing of a circuit file;
@@ -14,7 +14,14 @@ often without writing Python:
 * ``repro decide C1.real C2.real --equivalence NP-I`` — the non-promise
   decision (match + validate);
 * ``repro synth --permutation 0,3,1,2 [--output out.real]`` — synthesise an
-  MCT circuit for an explicitly given permutation.
+  MCT circuit for an explicitly given permutation;
+* ``repro corpus OUT_DIR`` — generate a workload corpus (circuit files +
+  ``manifest.json``) across equivalence classes and problem families;
+* ``repro run MANIFEST`` — execute a corpus manifest through the
+  :class:`~repro.service.MatchingService` pipeline, with ``--workers``
+  (process-pool parallelism), ``--cache``/``--cache-dir`` (result reuse
+  across pairs and runs) and ``--resume`` (skip pairs already in the JSONL
+  result store).
 
 Matching commands accept ``--no-quantum`` (forbid the simulated quantum
 matchers) and ``--budget N`` (hard oracle query budget).  Circuit files may
@@ -41,6 +48,15 @@ from repro.core import (
 )
 from repro.core.decision import decide
 from repro.exceptions import ReproError
+from repro.service.executor import ParallelExecutor, SerialExecutor
+from repro.service.pipeline import MatchingService
+from repro.service.workload import (
+    DEFAULT_FAMILIES,
+    MANIFEST_NAME,
+    generate_corpus,
+    tractable_classes,
+)
+from repro.service.cache import build_cache
 from repro.synthesis import synthesize
 from repro.version import __version__
 
@@ -196,6 +212,79 @@ def _cmd_decide(args: argparse.Namespace) -> int:
     return 0 if outcome.equivalent else 1
 
 
+def _parse_classes(spec: str):
+    """Parse the --classes value: 'tractable', 'all' or a CSV of labels."""
+    if spec == "tractable":
+        return tractable_classes()
+    if spec == "all":
+        return tuple(EquivalenceType)
+    try:
+        return tuple(
+            EquivalenceType.from_label(label) for label in spec.split(",") if label
+        )
+    except ValueError as error:
+        raise ReproError(str(error)) from None
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    families = tuple(name for name in args.families.split(",") if name)
+    manifest = generate_corpus(
+        args.out_dir,
+        num_lines=args.num_lines,
+        classes=_parse_classes(args.classes),
+        families=families,
+        pairs_per_class=args.pairs_per_class,
+        seed=args.seed,
+    )
+    print(
+        f"generated {len(manifest.entries)} pairs "
+        f"({len(manifest.classes)} classes x {len(manifest.families)} families "
+        f"x {args.pairs_per_class}) on {manifest.num_lines} lines, "
+        f"seed {manifest.seed}"
+    )
+    print(f"manifest: {args.out_dir}/{MANIFEST_NAME}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.no_cache:
+        cache = None
+    else:
+        if args.cache_size <= 0:
+            raise ReproError(
+                f"--cache-size must be positive, got {args.cache_size} "
+                "(use --no-cache to disable caching)"
+            )
+        cache = build_cache(memory_size=args.cache_size, disk_dir=args.cache_dir)
+    if args.workers > 1:
+        executor = ParallelExecutor(workers=args.workers)
+    else:
+        executor = SerialExecutor()
+    service = MatchingService(
+        MatchingConfig(
+            epsilon=args.epsilon,
+            allow_quantum=not args.no_quantum,
+            with_inverse=args.with_inverse,
+            max_queries=args.budget,
+        ),
+        executor=executor,
+        cache=cache,
+        verify=args.verify,
+    )
+    report = service.run_manifest(
+        args.manifest,
+        store_path=args.store,
+        resume=args.resume,
+        seed=args.seed,
+    )
+    print(report.to_table(title=f"service run of {report.total} pairs"))
+    print()
+    print(report.summary())
+    if args.store:
+        print(f"store: {args.store}")
+    return 0 if report.failed == 0 else 1
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
     mapping = [int(token) for token in args.permutation.split(",")]
     circuit = synthesize(
@@ -280,6 +369,89 @@ def build_parser() -> argparse.ArgumentParser:
     add_matching_options(many)
     add_engine_arguments(many)
     many.set_defaults(handler=_cmd_match_many)
+
+    corpus = subparsers.add_parser(
+        "corpus",
+        help="generate a workload corpus (circuits + manifest.json)",
+        description=(
+            "Writes circuit pairs and a manifest.json into OUT_DIR, drawn "
+            "from the requested problem families (random cascades, library "
+            "benchmark functions, adversarial non-equivalent near-misses) "
+            "across the requested equivalence classes.  Feed the result to "
+            "'repro run'."
+        ),
+    )
+    corpus.add_argument("out_dir", help="directory to create/populate")
+    corpus.add_argument("--num-lines", type=int, default=4, metavar="N")
+    corpus.add_argument(
+        "--classes",
+        default="tractable",
+        help="'tractable' (default), 'all', or a comma-separated label list",
+    )
+    corpus.add_argument(
+        "--families",
+        default=",".join(DEFAULT_FAMILIES),
+        help=f"comma-separated families (default {','.join(DEFAULT_FAMILIES)})",
+    )
+    corpus.add_argument(
+        "--pairs-per-class", type=int, default=1, metavar="K",
+        help="pairs per (family, class) cell (default 1)",
+    )
+    corpus.add_argument("--seed", type=int, default=None)
+    corpus.set_defaults(handler=_cmd_corpus)
+
+    runner = subparsers.add_parser(
+        "run",
+        help="execute a corpus manifest through the matching service",
+        description=(
+            "Runs every pair of a corpus manifest through the cached, "
+            "parallel, resumable MatchingService pipeline and prints the "
+            "per-pair table plus throughput.  Exit code 1 when any pair "
+            "failed to match."
+        ),
+    )
+    runner.add_argument(
+        "manifest", help="path to a manifest.json or a corpus directory"
+    )
+    runner.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="process-pool size (1 = serial, the default)",
+    )
+    runner.add_argument(
+        "--store", metavar="PATH",
+        help="JSONL result store to stream records to (required for --resume)",
+    )
+    runner.add_argument(
+        "--resume", action="store_true",
+        help="skip pairs already present in the store",
+    )
+    runner.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the in-memory result cache",
+    )
+    runner.add_argument(
+        "--cache-size", type=int, default=4096, metavar="N",
+        help="in-memory LRU capacity in results (default 4096)",
+    )
+    runner.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persist the result cache on disk so later runs can reuse it",
+    )
+    runner.add_argument(
+        "--verify", action="store_true",
+        help="exhaustively verify the witnesses of freshly executed pairs",
+    )
+    # The promised class per pair comes from the manifest, so `run` takes
+    # the matching flags minus --equivalence.
+    runner.add_argument("--epsilon", type=float, default=1e-3)
+    runner.add_argument("--seed", type=int, default=None)
+    runner.add_argument(
+        "--no-quantum",
+        action="store_true",
+        help="disallow the simulated quantum matchers",
+    )
+    add_engine_arguments(runner)
+    runner.set_defaults(handler=_cmd_run)
 
     decider = subparsers.add_parser("decide", help="non-promise decision")
     add_matching_arguments(decider)

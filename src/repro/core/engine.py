@@ -95,6 +95,9 @@ class BatchEntry:
         error: ``"ExceptionName: message"`` when the matcher failed.
         matcher: name of the registry entry that ran (when resolution
             succeeded).
+        cached: the result was served from a result cache instead of
+            running a matcher (no oracle queries were spent on it in this
+            batch; the query counts are those of the original run).
     """
 
     index: int
@@ -102,6 +105,7 @@ class BatchEntry:
     result: MatchingResult | None
     error: str | None = None
     matcher: str | None = None
+    cached: bool = False
 
     @property
     def matched(self) -> bool:
@@ -115,10 +119,12 @@ class BatchReport:
 
     Per-pair witnesses live in :attr:`entries`; the properties aggregate the
     classical/quantum query accounting across the batch for
-    :mod:`repro.analysis`-style reporting.  Aggregates cover the *matched*
-    pairs only — a pair whose matcher raised (budget exhausted, promise
-    violation) has no :class:`~repro.core.problem.MatchingResult` to read
-    query counts from, so its partial spending is not included.
+    :mod:`repro.analysis`-style reporting.  Aggregates count the queries
+    *this batch spent*: a pair whose matcher raised (budget exhausted,
+    promise violation) has no :class:`~repro.core.problem.MatchingResult`
+    to read counts from, and a cache-hit entry built no oracles at all —
+    its result still carries the original run's counts per pair, but they
+    are excluded from the batch totals.
 
     Attributes:
         entries: one :class:`BatchEntry` per submitted pair, in order.
@@ -146,21 +152,36 @@ class BatchReport:
         return self.num_pairs - self.num_matched
 
     @property
+    def cache_hits(self) -> int:
+        """Number of pairs served from a result cache."""
+        return sum(1 for entry in self.entries if entry.cached)
+
+    @property
     def classical_queries(self) -> int:
-        """Total classical oracle queries across the batch."""
-        return sum(entry.result.queries for entry in self.entries if entry.result)
+        """Classical oracle queries spent by this batch (cache hits excluded)."""
+        return sum(
+            entry.result.queries
+            for entry in self.entries
+            if entry.result and not entry.cached
+        )
 
     @property
     def quantum_queries(self) -> int:
-        """Total quantum oracle queries across the batch."""
+        """Quantum oracle queries spent by this batch (cache hits excluded)."""
         return sum(
-            entry.result.quantum_queries for entry in self.entries if entry.result
+            entry.result.quantum_queries
+            for entry in self.entries
+            if entry.result and not entry.cached
         )
 
     @property
     def swap_tests(self) -> int:
-        """Total swap tests across the batch."""
-        return sum(entry.result.swap_tests for entry in self.entries if entry.result)
+        """Swap tests performed by this batch (cache hits excluded)."""
+        return sum(
+            entry.result.swap_tests
+            for entry in self.entries
+            if entry.result and not entry.cached
+        )
 
     @property
     def total_queries(self) -> int:
@@ -186,7 +207,7 @@ class BatchReport:
                         entry.index,
                         entry.equivalence.label,
                         entry.matcher or "-",
-                        "ok",
+                        "cached" if entry.cached else "ok",
                         entry.result.queries,
                         entry.result.quantum_queries,
                     )
@@ -217,12 +238,15 @@ class BatchReport:
 
     def summary(self) -> str:
         """One-line aggregate: matched count and query totals."""
-        return (
+        text = (
             f"{self.num_matched}/{self.num_pairs} matched, "
             f"{self.classical_queries} classical + "
             f"{self.quantum_queries} quantum queries "
             f"({self.swap_tests} swap tests)"
         )
+        if self.cache_hits:
+            text += f", {self.cache_hits} from cache"
+        return text
 
 
 class MatchingEngine:
@@ -451,6 +475,7 @@ class MatchingEngine:
         equivalence: EquivalenceType | str | None = None,
         rng: _random.Random | int | None = None,
         stop_on_error: bool = False,
+        result_cache=None,
     ) -> BatchReport:
         """Match a batch of circuit pairs and aggregate query statistics.
 
@@ -462,6 +487,15 @@ class MatchingEngine:
             rng: randomness shared by the whole batch.
             stop_on_error: re-raise the first matcher failure instead of
                 recording it as a failed entry.
+            result_cache: optional cross-batch result cache.  Any object
+                with ``lookup(circuit1, circuit2, equivalence, config)``
+                returning ``(MatchingResult, matcher_name) | None`` and
+                ``store(circuit1, circuit2, equivalence, config, result,
+                matcher)`` — the engine stays ignorant of keying, which
+                lives with the cache (see
+                :class:`repro.service.cache.EngineCacheAdapter`).  A hit
+                skips dispatch entirely: no oracles are built and no
+                queries are spent; the entry is flagged ``cached``.
 
         Returns:
             A :class:`BatchReport` with one :class:`BatchEntry` per pair
@@ -494,6 +528,22 @@ class MatchingEngine:
                 )
             if isinstance(pair_equivalence, str):
                 pair_equivalence = EquivalenceType.from_label(pair_equivalence)
+            if result_cache is not None:
+                hit = result_cache.lookup(
+                    circuit1, circuit2, pair_equivalence, self._config
+                )
+                if hit is not None:
+                    cached_result, cached_matcher = hit
+                    entries.append(
+                        BatchEntry(
+                            index=index,
+                            equivalence=pair_equivalence,
+                            result=cached_result,
+                            matcher=cached_matcher,
+                            cached=True,
+                        )
+                    )
+                    continue
             matcher_name: str | None = None
             try:
                 spec, oracle1, oracle2, problem, ctx = self._prepare(
@@ -514,6 +564,15 @@ class MatchingEngine:
                     )
                 )
             else:
+                if result_cache is not None:
+                    result_cache.store(
+                        circuit1,
+                        circuit2,
+                        pair_equivalence,
+                        self._config,
+                        result,
+                        matcher_name,
+                    )
                 entries.append(
                     BatchEntry(
                         index=index,

@@ -22,6 +22,8 @@ __all__ = [
     "SynthesisError",
     "SatError",
     "QuantumError",
+    "ServiceError",
+    "FingerprintError",
 ]
 
 
@@ -84,3 +86,11 @@ class SatError(ReproError):
 
 class QuantumError(ReproError):
     """Quantum substrate failure (dimension mismatch, invalid state, ...)."""
+
+
+class ServiceError(ReproError):
+    """Failure in the matching service layer (corpus, store, pipeline)."""
+
+
+class FingerprintError(ServiceError):
+    """An oracle cannot be fingerprinted (e.g. opaque and too wide)."""

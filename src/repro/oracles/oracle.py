@@ -91,6 +91,17 @@ class ReversibleOracle(ABC):
         self._forward_queries = 0
         self._inverse_queries = 0
 
+    def peek_table(self) -> list[int]:
+        """White-box tabulation of the hidden function, charging no queries.
+
+        Like the ``circuit``/``permutation`` escape hatches of the concrete
+        oracles, this steps outside the black-box model: it is for
+        verification and for the service layer's fingerprinting/caching,
+        never for matchers (whose complexity is measured in queries).
+        Exponential in the line count.
+        """
+        return [self._evaluate(value) for value in range(1 << self._num_lines)]
+
     # -- querying --------------------------------------------------------------
     def _charge(self) -> None:
         if (

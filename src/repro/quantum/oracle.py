@@ -55,6 +55,14 @@ class QuantumCircuitOracle:
         """Number of quantum queries made so far."""
         return self._queries
 
+    @property
+    def permutation(self) -> Permutation:
+        """The hidden permutation (white-box escape hatch, like
+        :attr:`repro.oracles.oracle.CircuitOracle.circuit`; used by
+        verification and by the service layer's fingerprinting, never by
+        matchers)."""
+        return self._permutation
+
     def reset_counts(self) -> None:
         """Reset the query counter."""
         self._queries = 0

@@ -1,0 +1,101 @@
+"""The matching service layer: throughput on top of the matching engine.
+
+:mod:`repro.core` answers "are these two circuits X-Y equivalent?" for one
+pair; this package turns that into a pipeline that answers it for corpora:
+
+* :mod:`repro.service.fingerprint` — canonical oracle fingerprints, the
+  stable cache keys (truth-table digests up to a width limit, structural
+  digests beyond).
+* :mod:`repro.service.cache` — LRU in-memory and on-disk result caches
+  plus :class:`EngineCacheAdapter`, the bridge into
+  :meth:`MatchingEngine.match_many`'s ``result_cache`` hook.
+* :mod:`repro.service.executor` — pluggable serial/process-pool execution
+  backends with deterministic per-pair seeding (parallel == serial,
+  byte for byte).
+* :mod:`repro.service.workload` — corpus generation across the 16
+  equivalence classes (random, library and adversarial near-miss
+  families) with a JSON manifest format.
+* :mod:`repro.service.pipeline` — :class:`MatchingService`, wiring cache
+  + executor + engine, streaming JSONL records and resuming interrupted
+  runs.
+* :mod:`repro.service.serialize` — the JSON form of matching results
+  shared by cache, store and executor.
+
+The CLI surfaces this as ``repro corpus`` (generate) and ``repro run``
+(execute, with ``--workers``, ``--cache`` and ``--resume``).
+"""
+
+from __future__ import annotations
+
+from repro.service.cache import (
+    CacheStats,
+    DiskCache,
+    EngineCacheAdapter,
+    LRUCache,
+    ResultCache,
+    TieredCache,
+    build_cache,
+)
+from repro.service.executor import (
+    Executor,
+    PairTask,
+    ParallelExecutor,
+    SerialExecutor,
+    TaskOutcome,
+    derive_seed,
+)
+from repro.service.fingerprint import (
+    FUNCTIONAL_WIDTH_LIMIT,
+    OracleFingerprint,
+    config_digest,
+    fingerprint,
+    pair_key,
+)
+from repro.service.pipeline import MatchingService, ResultStore, ServiceReport
+from repro.service.serialize import result_from_dict, result_to_dict
+from repro.service.workload import (
+    DEFAULT_FAMILIES,
+    CorpusEntry,
+    CorpusManifest,
+    generate_corpus,
+    load_entry_circuits,
+    tractable_classes,
+)
+
+__all__ = [
+    # fingerprint
+    "FUNCTIONAL_WIDTH_LIMIT",
+    "OracleFingerprint",
+    "fingerprint",
+    "config_digest",
+    "pair_key",
+    # cache
+    "CacheStats",
+    "ResultCache",
+    "LRUCache",
+    "DiskCache",
+    "TieredCache",
+    "build_cache",
+    "EngineCacheAdapter",
+    # executor
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "PairTask",
+    "TaskOutcome",
+    "derive_seed",
+    # workload
+    "DEFAULT_FAMILIES",
+    "CorpusEntry",
+    "CorpusManifest",
+    "generate_corpus",
+    "load_entry_circuits",
+    "tractable_classes",
+    # pipeline
+    "MatchingService",
+    "ResultStore",
+    "ServiceReport",
+    # serialize
+    "result_to_dict",
+    "result_from_dict",
+]

@@ -1,0 +1,325 @@
+"""Result caches: in-memory LRU, on-disk store, and the engine adapter.
+
+Caches map a :func:`~repro.service.fingerprint.pair_key` to a JSON record
+``{"key": ..., "matcher": ..., "result": result_to_dict(...)}``.  Keeping
+the value a plain JSON dict (rather than a live ``MatchingResult``) means
+the memory tier, the disk tier and the JSONL run store all share one
+format, and a cached entry read back from disk is byte-for-byte the entry
+that was written.
+
+:class:`EngineCacheAdapter` packages a cache behind the duck-typed
+``lookup``/``store`` protocol that
+:meth:`repro.core.engine.MatchingEngine.match_many` consults, computing
+fingerprint keys on the engine's behalf so the core layer stays ignorant
+of keying.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.engine import MatchingConfig
+from repro.core.equivalence import EquivalenceType
+from repro.core.problem import MatchingResult
+from repro.exceptions import FingerprintError
+from repro.service import serialize
+from repro.service.fingerprint import (
+    FUNCTIONAL_WIDTH_LIMIT,
+    fingerprint,
+    pair_key,
+)
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "LRUCache",
+    "DiskCache",
+    "TieredCache",
+    "build_cache",
+    "EngineCacheAdapter",
+]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache tier."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 when none were made)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache(ABC):
+    """A key -> JSON-record store with hit/miss accounting."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    @abstractmethod
+    def _get(self, key: str) -> dict | None:
+        """Fetch the record for ``key`` or ``None``."""
+
+    @abstractmethod
+    def _put(self, key: str, record: dict) -> None:
+        """Store ``record`` under ``key`` (overwriting)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of records currently stored."""
+
+    def get(self, key: str) -> dict | None:
+        """Look up ``key``, updating the hit/miss statistics."""
+        record = self._get(key)
+        if record is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        """Store ``record`` under ``key``, updating the store counter."""
+        self._put(key, record)
+        self.stats.stores += 1
+
+
+class LRUCache(ResultCache):
+    """Bounded in-memory cache with least-recently-used eviction."""
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        super().__init__()
+        if maxsize <= 0:
+            raise ValueError(f"LRU cache needs a positive maxsize, got {maxsize}")
+        self._maxsize = maxsize
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+
+    @property
+    def maxsize(self) -> int:
+        """Capacity in records."""
+        return self._maxsize
+
+    def _get(self, key: str) -> dict | None:
+        record = self._entries.get(key)
+        if record is not None:
+            self._entries.move_to_end(key)
+        return record
+
+    def _put(self, key: str, record: dict) -> None:
+        self._entries[key] = record
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class DiskCache(ResultCache):
+    """One-JSON-file-per-key cache surviving process restarts.
+
+    Filenames are the SHA-256 of the key, so arbitrary key strings are
+    safe; the full key is stored inside the record and checked on read, so
+    a (cosmically unlikely) filename collision degrades to a miss rather
+    than a wrong result.  Writes go through a temp file + ``os.replace`` so
+    a crash mid-write leaves no torn record, and an unreadable or corrupt
+    file reads as a miss.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        super().__init__()
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> Path:
+        """The backing directory."""
+        return self._directory
+
+    def _path(self, key: str) -> Path:
+        name = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self._directory / f"{name}.json"
+
+    def _get(self, key: str) -> dict | None:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if envelope.get("key") != key:
+            return None
+        record = envelope.get("record")
+        return record if isinstance(record, dict) else None
+
+    def _put(self, key: str, record: dict) -> None:
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"key": key, "record": record}, handle)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._directory.glob("*.json"))
+
+
+class TieredCache(ResultCache):
+    """A fast tier in front of a persistent tier (read-through, write-both).
+
+    Hits in the slow tier are promoted into the fast tier; every store goes
+    to both, so the slow tier is the authoritative record set.
+    """
+
+    def __init__(self, fast: ResultCache, slow: ResultCache) -> None:
+        super().__init__()
+        self._fast = fast
+        self._slow = slow
+
+    @property
+    def fast(self) -> ResultCache:
+        """The front (typically in-memory) tier."""
+        return self._fast
+
+    @property
+    def slow(self) -> ResultCache:
+        """The authoritative (typically on-disk) tier."""
+        return self._slow
+
+    def _get(self, key: str) -> dict | None:
+        record = self._fast.get(key)
+        if record is not None:
+            return record
+        record = self._slow.get(key)
+        if record is not None:
+            self._fast.put(key, record)
+        return record
+
+    def _put(self, key: str, record: dict) -> None:
+        self._fast.put(key, record)
+        self._slow.put(key, record)
+
+    def __len__(self) -> int:
+        return len(self._slow)
+
+
+def build_cache(
+    memory_size: int = 4096, disk_dir: str | os.PathLike | None = None
+) -> ResultCache:
+    """The standard cache stack: an LRU, optionally backed by a disk store."""
+    memory = LRUCache(maxsize=memory_size)
+    if disk_dir is None:
+        return memory
+    return TieredCache(memory, DiskCache(disk_dir))
+
+
+@dataclass
+class EngineCacheAdapter:
+    """Bridge a :class:`ResultCache` to the engine's ``result_cache`` hook.
+
+    Implements the ``lookup``/``store`` protocol documented on
+    :meth:`repro.core.engine.MatchingEngine.match_many`: fingerprints the
+    pair, derives the :func:`~repro.service.fingerprint.pair_key`, and
+    (de)serialises results at the boundary.  Unfingerprintable inputs
+    (opaque wide oracles) silently bypass the cache — correctness never
+    depends on a hit.
+
+    Attributes:
+        cache: the backing store.
+        width_limit: functional-fingerprint width cutoff.
+    """
+
+    cache: ResultCache
+    width_limit: int = FUNCTIONAL_WIDTH_LIMIT
+
+    def __post_init__(self) -> None:
+        # One-slot memo bridging the engine's lookup -> store round trip:
+        # on a miss the engine calls both for the same pair back to back,
+        # and each key computation tabulates two truth tables.  `lookup`
+        # fills the slot, `store` consumes it, so the memo never outlives
+        # one pair — a circuit mutated in place between batches can never
+        # be served a stale key.  The strong references pin the circuits'
+        # id()s against recycling while the slot is live.
+        self._pending: tuple[tuple, str] | None = None
+
+    def key_for(
+        self,
+        circuit1,
+        circuit2,
+        equivalence: EquivalenceType,
+        config: MatchingConfig,
+    ) -> str:
+        """The cache key this adapter uses for a pair (raises on opaque input)."""
+        fp1 = fingerprint(
+            circuit1, with_inverse=config.with_inverse, width_limit=self.width_limit
+        )
+        fp2 = fingerprint(
+            circuit2, with_inverse=config.with_inverse, width_limit=self.width_limit
+        )
+        return pair_key(fp1, fp2, equivalence, config)
+
+    def _pending_key(
+        self, circuit1, circuit2, equivalence, config
+    ) -> str | None:
+        if self._pending is None:
+            return None
+        (c1, c2, eq, cfg), key = self._pending
+        self._pending = None
+        if c1 is circuit1 and c2 is circuit2 and eq is equivalence and cfg == config:
+            return key
+        return None
+
+    def lookup(
+        self,
+        circuit1,
+        circuit2,
+        equivalence: EquivalenceType,
+        config: MatchingConfig,
+    ) -> tuple[MatchingResult, str | None] | None:
+        """Return ``(result, matcher_name)`` on a hit, ``None`` otherwise."""
+        try:
+            key = self.key_for(circuit1, circuit2, equivalence, config)
+        except FingerprintError:
+            return None
+        self._pending = ((circuit1, circuit2, equivalence, config), key)
+        record = self.cache.get(key)
+        if record is None or record.get("result") is None:
+            # Failure records (stored by the service pipeline) have no
+            # result; the engine hook has no failure channel, so they read
+            # as misses and the pair is simply re-dispatched.
+            return None
+        return serialize.result_from_dict(record["result"]), record.get("matcher")
+
+    def store(
+        self,
+        circuit1,
+        circuit2,
+        equivalence: EquivalenceType,
+        config: MatchingConfig,
+        result: MatchingResult,
+        matcher: str | None = None,
+    ) -> None:
+        """Record a freshly computed result (no-op on unfingerprintable input)."""
+        key = self._pending_key(circuit1, circuit2, equivalence, config)
+        if key is None:
+            try:
+                key = self.key_for(circuit1, circuit2, equivalence, config)
+            except FingerprintError:
+                return
+        self.cache.put(
+            key,
+            {"matcher": matcher, "result": serialize.result_to_dict(result)},
+        )

@@ -1,0 +1,195 @@
+"""Canonical oracle fingerprints — stable cache keys for matching results.
+
+A fingerprint identifies *what function* an oracle hides, not which Python
+object wraps it, so two batches (or two processes, or two runs on different
+days) that match the same pair under the same policy can share one cached
+result.  Two flavours exist:
+
+* ``function`` — a digest of the full truth table.  Canonical: any two
+  representations of the same reversible function (a circuit, its
+  resynthesis, the tabulated permutation) collide.  Exponential in the bit
+  width, so it is only computed up to :data:`FUNCTIONAL_WIDTH_LIMIT` lines.
+* ``structure`` — a digest of the gate cascade.  Cheap at any width but
+  only structural: functionally equal circuits with different gates get
+  different fingerprints (a cache miss, never a wrong hit).
+
+The cache key for a matched pair (:func:`pair_key`) combines both
+fingerprints with the equivalence class and a digest of the
+:class:`~repro.core.engine.MatchingConfig` policy, because the policy
+changes what a matcher may do (inverse access, quantum access, budgets) and
+therefore what result is produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.circuits.circuit import ReversibleCircuit
+from repro.circuits.permutation import Permutation
+from repro.core.engine import MatchingConfig
+from repro.core.equivalence import EquivalenceType
+from repro.exceptions import FingerprintError
+from repro.oracles.oracle import (
+    CircuitOracle,
+    PermutationOracle,
+    ReversibleOracle,
+)
+from repro.quantum.oracle import QuantumCircuitOracle
+
+__all__ = [
+    "FUNCTIONAL_WIDTH_LIMIT",
+    "OracleFingerprint",
+    "fingerprint",
+    "config_digest",
+    "pair_key",
+]
+
+#: Widest circuit whose truth table is tabulated for a functional
+#: fingerprint; beyond it circuits fall back to structural digests.
+FUNCTIONAL_WIDTH_LIMIT = 14
+
+
+@dataclass(frozen=True)
+class OracleFingerprint:
+    """Identity of one oracle for caching purposes.
+
+    Attributes:
+        num_lines: bit width of the hidden function.
+        kind: ``"function"`` (truth-table digest, canonical) or
+            ``"structure"`` (gate-cascade digest, width-independent).
+        digest: hex SHA-256 of the canonical payload.
+        with_inverse: whether matchers get inverse access to this oracle —
+            part of the identity because it changes which algorithm runs.
+    """
+
+    num_lines: int
+    kind: str
+    digest: str
+    with_inverse: bool = False
+
+    @property
+    def key(self) -> str:
+        """The fingerprint rendered as a stable key fragment."""
+        access = "inv" if self.with_inverse else "fwd"
+        return f"{self.num_lines}:{self.kind}:{access}:{self.digest}"
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _table_fingerprint(
+    table: list[int], num_lines: int, with_inverse: bool
+) -> OracleFingerprint:
+    return OracleFingerprint(
+        num_lines=num_lines,
+        kind="function",
+        digest=_digest("tt:" + ",".join(str(value) for value in table)),
+        with_inverse=with_inverse,
+    )
+
+
+def _structure_fingerprint(
+    circuit: ReversibleCircuit, with_inverse: bool
+) -> OracleFingerprint:
+    payload = "gates:" + ";".join(repr(gate) for gate in circuit.gates)
+    return OracleFingerprint(
+        num_lines=circuit.num_lines,
+        kind="structure",
+        digest=_digest(payload),
+        with_inverse=with_inverse,
+    )
+
+
+def fingerprint(
+    target,
+    *,
+    with_inverse: bool = False,
+    width_limit: int = FUNCTIONAL_WIDTH_LIMIT,
+) -> OracleFingerprint:
+    """Fingerprint a circuit, permutation or oracle.
+
+    Args:
+        target: a :class:`~repro.circuits.circuit.ReversibleCircuit`,
+            :class:`~repro.circuits.permutation.Permutation`, classical
+            :class:`~repro.oracles.oracle.ReversibleOracle` or
+            :class:`~repro.quantum.oracle.QuantumCircuitOracle`.  Pre-built
+            oracles contribute their own inverse availability; raw circuits
+            and permutations take the ``with_inverse`` argument (mirroring
+            how the engine coerces them).
+        with_inverse: inverse-access flag for raw circuits/permutations.
+        width_limit: widest function to fingerprint functionally.
+
+    Raises:
+        FingerprintError: for an opaque oracle (no white-box escape hatch
+            would be exponential to tabulate) wider than ``width_limit``,
+            or an unsupported type.
+    """
+    if isinstance(target, Permutation):
+        return _table_fingerprint(
+            list(target.mapping), target.num_bits, with_inverse
+        )
+    if isinstance(target, ReversibleCircuit):
+        if target.num_lines <= width_limit:
+            return _table_fingerprint(
+                target.truth_table(), target.num_lines, with_inverse
+            )
+        return _structure_fingerprint(target, with_inverse)
+    if isinstance(target, CircuitOracle):
+        return fingerprint(
+            target.circuit,
+            with_inverse=target.has_inverse,
+            width_limit=width_limit,
+        )
+    if isinstance(target, PermutationOracle):
+        return fingerprint(
+            target.permutation,
+            with_inverse=target.has_inverse,
+            width_limit=width_limit,
+        )
+    if isinstance(target, QuantumCircuitOracle):
+        return fingerprint(
+            target.permutation, with_inverse=False, width_limit=width_limit
+        )
+    if isinstance(target, ReversibleOracle):
+        if target.num_lines > width_limit:
+            raise FingerprintError(
+                f"cannot fingerprint an opaque {target.num_lines}-line oracle "
+                f"(functional limit is {width_limit} lines)"
+            )
+        return _table_fingerprint(
+            target.peek_table(), target.num_lines, target.has_inverse
+        )
+    raise FingerprintError(
+        f"cannot fingerprint a {type(target).__name__}"
+    )
+
+
+def config_digest(config: MatchingConfig) -> str:
+    """Digest of the policy knobs that can change a matching result."""
+    payload = (
+        f"eps={config.epsilon!r}:quantum={config.allow_quantum}:"
+        f"brute={config.allow_brute_force}:inv={config.with_inverse}:"
+        f"budget={config.max_queries}"
+    )
+    return _digest(payload)[:16]
+
+
+def pair_key(
+    fp1: OracleFingerprint,
+    fp2: OracleFingerprint,
+    equivalence: EquivalenceType,
+    config: MatchingConfig,
+) -> str:
+    """The cache key for one matched pair under one policy.
+
+    Contract (recorded in ROADMAP.md): a cached result may be replayed
+    exactly when the two hidden functions, their inverse availability, the
+    promised class and every policy knob of the config coincide.  The
+    engine seed is deliberately *not* part of the key — any seed's
+    witnesses are valid witnesses, so replays trade bitwise RNG
+    reproducibility for hits (run with a cold cache when auditing
+    determinism).
+    """
+    return f"{equivalence.label}|{fp1.key}|{fp2.key}|{config_digest(config)}"

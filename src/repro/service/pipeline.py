@@ -1,0 +1,491 @@
+"""The :class:`MatchingService` — cache + executor + engine as a pipeline.
+
+The service is the production front door the ROADMAP asks for: it takes a
+corpus manifest (or in-memory pairs), skips whatever a previous run
+already answered (resume via the JSONL result store), answers whatever an
+earlier batch or run already answered (the result cache, consulted
+*before* any oracle is built — a warm-cache run performs zero oracle
+queries; lookups happen up front, so duplicates *within* one cold batch
+still each execute), shards the remainder over an execution backend, and
+streams one JSON record per pair to the store.  Records are JSON dicts end to end — the executor, the
+cache and the store all speak :mod:`repro.service.serialize` — so a
+serial run, a 4-worker run and a cache replay of the same manifest write
+interchangeable stores.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.core.engine import MatchingConfig
+from repro.core.equivalence import EquivalenceType
+from repro.core.verify import verify_match
+from repro.exceptions import FingerprintError, ServiceError
+from repro.service import serialize
+from repro.service.cache import ResultCache
+from repro.service.executor import (
+    Executor,
+    PairTask,
+    SerialExecutor,
+    derive_seed,
+)
+from repro.service.fingerprint import fingerprint, pair_key
+from repro.service.workload import (
+    MANIFEST_NAME,
+    CorpusManifest,
+    load_entry_circuits,
+)
+
+__all__ = ["ResultStore", "ServiceReport", "MatchingService"]
+
+
+class ResultStore:
+    """Append-only JSONL store of per-pair run records, keyed by pair id.
+
+    One JSON object per line; :meth:`load` tolerates a torn final line (a
+    crash mid-append) by skipping anything that does not parse, which is
+    exactly what resume needs: the half-written pair is simply re-run.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+
+    @property
+    def path(self) -> Path:
+        """The JSONL file backing the store."""
+        return self._path
+
+    @property
+    def exists(self) -> bool:
+        """Whether the store file exists on disk."""
+        return self._path.exists()
+
+    def load(self) -> dict[str, dict]:
+        """Read all complete records, newest occurrence of each pair winning."""
+        records: dict[str, dict] = {}
+        if not self.exists:
+            return records
+        with open(self._path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                pair_id = record.get("pair_id")
+                if isinstance(pair_id, str):
+                    records[pair_id] = record
+        return records
+
+    def append(self, record: dict) -> None:
+        """Append one record and flush it to disk."""
+        with open(self._path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+
+
+class ServiceReport:
+    """Outcome of one service run: per-pair records plus throughput stats.
+
+    Attributes:
+        records: one JSON record per pair, in manifest order.  Statuses:
+            ``ok`` (freshly executed), ``failed`` (matcher raised),
+            ``cached`` (served by the result cache) and whatever a resumed
+            record carried when it was first written.
+        resumed: how many pairs were skipped because the store already had
+            them.
+        executed: how many pairs actually went through an executor.
+        elapsed: wall-clock seconds for the run.
+    """
+
+    def __init__(
+        self,
+        records: list[dict],
+        *,
+        resumed: int,
+        cache_hits: int,
+        executed: int,
+        elapsed: float,
+        executor: str,
+        store_path: Path | None = None,
+    ) -> None:
+        self.records = records
+        self.resumed = resumed
+        self.cache_hits = cache_hits
+        self.executed = executed
+        self.elapsed = elapsed
+        self.executor = executor
+        self.store_path = store_path
+
+    # -- aggregates ------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Number of pairs the manifest listed."""
+        return len(self.records)
+
+    @property
+    def matched(self) -> int:
+        """Pairs with witnesses (fresh, cached or resumed)."""
+        return sum(1 for record in self.records if record.get("result"))
+
+    @property
+    def failed(self) -> int:
+        """Pairs whose matcher raised (fresh, cached or resumed)."""
+        return self.total - self.matched
+
+    @property
+    def classical_queries(self) -> int:
+        """Classical oracle queries spent on freshly executed pairs."""
+        return sum(
+            record["result"]["queries"]
+            for record in self.records
+            if record.get("status") == "ok" and record.get("result")
+        )
+
+    @property
+    def quantum_queries(self) -> int:
+        """Quantum oracle queries spent on freshly executed pairs."""
+        return sum(
+            record["result"]["quantum_queries"]
+            for record in self.records
+            if record.get("status") == "ok" and record.get("result")
+        )
+
+    @property
+    def pairs_per_second(self) -> float:
+        """Throughput over the pairs actually processed this run."""
+        processed = self.executed + self.cache_hits
+        if processed == 0 or self.elapsed <= 0:
+            return 0.0
+        return processed / self.elapsed
+
+    # -- rendering -------------------------------------------------------------
+    def as_rows(self) -> list[tuple[object, ...]]:
+        """Table rows (pair, class, family, status, matcher, queries, quantum)."""
+        rows: list[tuple[object, ...]] = []
+        for record in self.records:
+            result = record.get("result") or {}
+            rows.append(
+                (
+                    record.get("pair_id", record.get("index", "-")),
+                    record.get("equivalence", "-"),
+                    record.get("family") or "-",
+                    record.get("status", "-"),
+                    record.get("matcher") or "-",
+                    result.get("queries", 0),
+                    result.get("quantum_queries", 0),
+                )
+            )
+        return rows
+
+    def to_table(self, title: str | None = None) -> str:
+        """Render the run through :func:`repro.analysis.report.format_table`."""
+        return format_table(
+            ["pair", "class", "family", "status", "matcher", "queries", "quantum"],
+            self.as_rows(),
+            title=title,
+        )
+
+    def summary(self) -> str:
+        """One-line aggregate with throughput."""
+        return (
+            f"{self.matched}/{self.total} matched ({self.failed} failed), "
+            f"{self.cache_hits} cached, {self.resumed} resumed, "
+            f"{self.executed} executed via {self.executor} in "
+            f"{self.elapsed:.2f}s ({self.pairs_per_second:.1f} pairs/s); "
+            f"{self.classical_queries} classical + "
+            f"{self.quantum_queries} quantum queries spent"
+        )
+
+
+class _Unit:
+    """One pair flowing through the pipeline (internal bookkeeping)."""
+
+    __slots__ = ("position", "pair_id", "circuit1", "circuit2", "label", "meta", "key")
+
+    def __init__(self, position, pair_id, circuit1, circuit2, label, meta):
+        self.position = position
+        self.pair_id = pair_id
+        self.circuit1 = circuit1
+        self.circuit2 = circuit2
+        self.label = label
+        self.meta = meta
+        self.key = None
+
+
+class MatchingService:
+    """High-throughput, cached, resumable matching over corpora.
+
+    Args:
+        config: the :class:`~repro.core.engine.MatchingConfig` policy every
+            pair is matched under (also part of every cache key).
+        executor: execution backend; defaults to
+            :class:`~repro.service.executor.SerialExecutor`.
+        cache: optional :class:`~repro.service.cache.ResultCache` consulted
+            per pair before any oracle exists.
+        verify: exhaustively verify the witnesses of freshly executed
+            pairs (white-box, exponential in width — meant for corpora of
+            small circuits, where it catches promise-violating
+            near-misses; recorded as ``verified`` on the run record).
+    """
+
+    def __init__(
+        self,
+        config: MatchingConfig | None = None,
+        *,
+        executor: Executor | None = None,
+        cache: ResultCache | None = None,
+        verify: bool = False,
+    ) -> None:
+        self._config = config if config is not None else MatchingConfig()
+        self._executor = executor if executor is not None else SerialExecutor()
+        self._cache = cache
+        self._verify = verify
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def config(self) -> MatchingConfig:
+        """The matching policy."""
+        return self._config
+
+    @property
+    def executor(self) -> Executor:
+        """The execution backend."""
+        return self._executor
+
+    @property
+    def cache(self) -> ResultCache | None:
+        """The result cache, if any."""
+        return self._cache
+
+    # -- internal --------------------------------------------------------------
+    def _cache_key(self, unit: _Unit) -> str | None:
+        if self._cache is None:
+            return None
+        try:
+            fp1 = fingerprint(unit.circuit1, with_inverse=self._config.with_inverse)
+            fp2 = fingerprint(unit.circuit2, with_inverse=self._config.with_inverse)
+        except FingerprintError:
+            return None
+        equivalence = EquivalenceType.from_label(unit.label)
+        return pair_key(fp1, fp2, equivalence, self._config)
+
+    def _base_record(self, unit: _Unit) -> dict:
+        record = {
+            "pair_id": unit.pair_id,
+            "index": unit.position,
+            "equivalence": unit.label,
+            "cache_key": unit.key,
+        }
+        record.update(unit.meta)
+        return record
+
+    def _run_units(
+        self,
+        units: list[_Unit],
+        *,
+        done: dict[str, dict],
+        store: ResultStore | None,
+        seed: int | None,
+    ) -> ServiceReport:
+        start = time.perf_counter()
+        records: list[dict | None] = [None] * len(units)
+        resumed = 0
+        cache_hits = 0
+        pending: list[_Unit] = []
+
+        for unit in units:
+            if unit.pair_id is not None and unit.pair_id in done:
+                # Shallow copy so the store's record keeps its original
+                # status; in this report the pair reads as "resumed" and
+                # its (historical) queries are excluded from the spend.
+                record = dict(done[unit.pair_id])
+                record["status"] = "resumed"
+                records[unit.position] = record
+                resumed += 1
+                continue
+            unit.key = self._cache_key(unit)
+            if unit.key is not None:
+                cached = self._cache.get(unit.key)
+                if cached is not None:
+                    record = self._base_record(unit)
+                    record.update(
+                        status="cached",
+                        matcher=cached.get("matcher"),
+                        error=cached.get("error"),
+                        result=cached.get("result"),
+                    )
+                    records[unit.position] = record
+                    cache_hits += 1
+                    if store is not None:
+                        store.append(record)
+                    continue
+            pending.append(unit)
+
+        tasks = [
+            PairTask(
+                index=unit.position,
+                circuit1=unit.circuit1,
+                circuit2=unit.circuit2,
+                equivalence=unit.label,
+                seed=derive_seed(seed, unit.position),
+                pair_id=unit.pair_id,
+            )
+            for unit in pending
+        ]
+        outcomes = {
+            outcome.index: outcome
+            for outcome in self._executor.execute(tasks, self._config)
+        }
+
+        for unit in pending:
+            outcome = outcomes[unit.position]
+            record = self._base_record(unit)
+            record.update(
+                status="ok" if outcome.matched else "failed",
+                matcher=outcome.matcher,
+                error=outcome.error,
+                result=outcome.result,
+            )
+            if self._verify and outcome.matched:
+                result = serialize.result_from_dict(outcome.result)
+                record["verified"] = verify_match(
+                    unit.circuit1,
+                    unit.circuit2,
+                    EquivalenceType.from_label(unit.label),
+                    result,
+                )
+            if unit.key is not None:
+                # Failures are cached too: under a fixed policy the verdict
+                # is the verdict (clear the cache to force a retry), and a
+                # warm re-run of a manifest must spend zero oracle queries.
+                self._cache.put(
+                    unit.key,
+                    {
+                        "matcher": outcome.matcher,
+                        "error": outcome.error,
+                        "result": outcome.result,
+                    },
+                )
+            records[unit.position] = record
+            if store is not None:
+                store.append(record)
+
+        return ServiceReport(
+            records=[record for record in records if record is not None],
+            resumed=resumed,
+            cache_hits=cache_hits,
+            executed=len(pending),
+            elapsed=time.perf_counter() - start,
+            executor=self._executor.name,
+            store_path=store.path if store is not None else None,
+        )
+
+    # -- entry points ----------------------------------------------------------
+    def run_manifest(
+        self,
+        manifest: CorpusManifest | str | Path,
+        *,
+        root: str | Path | None = None,
+        store_path: str | Path | None = None,
+        resume: bool = False,
+        seed: int | None = None,
+    ) -> ServiceReport:
+        """Execute a corpus manifest through cache, store and executor.
+
+        Args:
+            manifest: a loaded :class:`CorpusManifest` or a path to one
+                (a directory is taken to contain ``manifest.json``).
+            root: directory circuit paths are relative to; defaults to the
+                manifest's directory when a path was given, else the
+                current directory.
+            store_path: JSONL result store to stream records to.
+            resume: skip pairs whose ids the store already holds (requires
+                ``store_path``).
+            seed: run seed; per-pair seeds derive from it and the pair's
+                manifest position, so a resumed run re-executes a pair
+                with exactly the seed the interrupted run would have used.
+        """
+        if isinstance(manifest, (str, Path)):
+            path = Path(manifest)
+            if path.is_dir():
+                path = path / MANIFEST_NAME
+            if root is None:
+                root = path.parent
+            manifest = CorpusManifest.load(path)
+        if root is None:
+            root = Path(".")
+        if resume and store_path is None:
+            raise ServiceError("resume requires a result store path")
+
+        store = ResultStore(store_path) if store_path is not None else None
+        done = store.load() if (resume and store is not None) else {}
+
+        units = []
+        for position, entry in enumerate(manifest.entries):
+            if entry.pair_id in done:
+                # Circuits of already-answered pairs are never even loaded.
+                circuit1 = circuit2 = None
+            else:
+                circuit1, circuit2 = load_entry_circuits(entry, root)
+            units.append(
+                _Unit(
+                    position,
+                    entry.pair_id,
+                    circuit1,
+                    circuit2,
+                    entry.equivalence,
+                    {
+                        "family": entry.family,
+                        "expected_equivalent": entry.expected_equivalent,
+                    },
+                )
+            )
+        return self._run_units(units, done=done, store=store, seed=seed)
+
+    def match_pairs(
+        self,
+        pairs: Iterable[Sequence],
+        *,
+        equivalence: EquivalenceType | str | None = None,
+        seed: int | None = None,
+    ) -> ServiceReport:
+        """Run in-memory pairs (the :meth:`match_many` shape) as a pipeline.
+
+        Accepts ``(circuit1, circuit2)`` or ``(circuit1, circuit2,
+        equivalence)`` tuples exactly like
+        :meth:`repro.core.engine.MatchingEngine.match_many`, but with the
+        service's cache and executor in the loop.  No store is involved —
+        use :meth:`run_manifest` for resumable runs.
+        """
+        if isinstance(equivalence, EquivalenceType):
+            equivalence = equivalence.label
+        units = []
+        for position, pair in enumerate(pairs):
+            if len(pair) == 3:
+                circuit1, circuit2, label = pair
+            elif len(pair) == 2:
+                circuit1, circuit2 = pair
+                label = equivalence
+            else:
+                raise ServiceError(
+                    f"pair #{position} has {len(pair)} elements; expected "
+                    "(c1, c2) or (c1, c2, equivalence)"
+                )
+            if label is None:
+                raise ServiceError(
+                    f"pair #{position} names no equivalence class and no "
+                    "batch-wide default was given"
+                )
+            if isinstance(label, EquivalenceType):
+                label = label.label
+            else:
+                label = EquivalenceType.from_label(label).label
+            units.append(_Unit(position, None, circuit1, circuit2, label, {}))
+        return self._run_units(units, done={}, store=None, seed=seed)

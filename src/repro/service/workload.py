@@ -1,0 +1,333 @@
+"""Workload/corpus generation: problem families across the 16 classes.
+
+A *corpus* is a directory of RevLib ``.real`` circuit files plus a
+``manifest.json`` describing pairs to match: which two files, under which
+promised X-Y class, from which problem family, and whether the pair is
+actually equivalent.  Three families cover the scenario space:
+
+* ``random`` — a random MCT cascade wrapped in class-appropriate random
+  transforms (:func:`repro.core.verify.make_instance`): the "generic
+  function" workload on which Table 1 query counts are measured.
+* ``library`` — the same construction over the named benchmark functions
+  of :mod:`repro.circuits.library` (adders, hidden-weighted-bit, ...):
+  structured functions a matcher might accidentally exploit.
+* ``adversarial`` — near-miss pairs that are **not** equivalent: the
+  correctly transformed circuit is perturbed by a single transposition
+  (one fully-controlled Toffoli appended), so exactly two truth-table
+  entries differ.  These probe the promise boundary — matchers may raise
+  :class:`~repro.exceptions.PromiseViolationError` or return witnesses
+  that fail verification, and ``expected_equivalent: false`` in the
+  manifest records which outcome is the honest one.
+
+Generation is deterministic: every pair derives its own seed from the
+corpus seed and its identifier, so the same arguments reproduce the same
+corpus byte-for-byte regardless of generation order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random as _random
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.circuits import library
+from repro.circuits.circuit import ReversibleCircuit
+from repro.circuits.gates import Control, MCTGate
+from repro.circuits.io import real
+from repro.circuits.random import random_circuit
+from repro.core.equivalence import EquivalenceType, Hardness, classify
+from repro.core.verify import make_instance
+from repro.exceptions import ServiceError
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "MANIFEST_NAME",
+    "DEFAULT_FAMILIES",
+    "CorpusEntry",
+    "CorpusManifest",
+    "tractable_classes",
+    "generate_corpus",
+    "load_entry_circuits",
+]
+
+MANIFEST_FORMAT = "repro-corpus/v1"
+MANIFEST_NAME = "manifest.json"
+DEFAULT_FAMILIES = ("random", "library", "adversarial")
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One pair in a corpus manifest.
+
+    Attributes:
+        pair_id: stable identifier, also the stem of the circuit filenames
+            and the resume key in result stores.
+        circuit1, circuit2: circuit file paths relative to the manifest.
+        equivalence: promised class label ("X-Y").
+        family: generating family name.
+        num_lines: bit width of the pair.
+        expected_equivalent: whether the pair truly is equivalent (False
+            for the adversarial near-misses).
+        seed: the derived seed the pair was generated from.
+    """
+
+    pair_id: str
+    circuit1: str
+    circuit2: str
+    equivalence: str
+    family: str
+    num_lines: int
+    expected_equivalent: bool
+    seed: int
+
+    def to_dict(self) -> dict:
+        """The entry as a JSON-ready dict."""
+        return {
+            "pair_id": self.pair_id,
+            "circuit1": self.circuit1,
+            "circuit2": self.circuit2,
+            "equivalence": self.equivalence,
+            "family": self.family,
+            "num_lines": self.num_lines,
+            "expected_equivalent": self.expected_equivalent,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CorpusEntry":
+        """Rebuild an entry from :meth:`to_dict` output."""
+        try:
+            return cls(
+                pair_id=data["pair_id"],
+                circuit1=data["circuit1"],
+                circuit2=data["circuit2"],
+                equivalence=data["equivalence"],
+                family=data["family"],
+                num_lines=data["num_lines"],
+                expected_equivalent=data["expected_equivalent"],
+                seed=data["seed"],
+            )
+        except KeyError as error:
+            raise ServiceError(f"corpus entry is missing field {error}") from None
+
+
+@dataclass(frozen=True)
+class CorpusManifest:
+    """A generated corpus: header plus one :class:`CorpusEntry` per pair."""
+
+    num_lines: int
+    seed: int
+    families: tuple[str, ...]
+    classes: tuple[str, ...]
+    entries: tuple[CorpusEntry, ...]
+
+    def to_dict(self) -> dict:
+        """The manifest as a JSON-ready dict."""
+        return {
+            "format": MANIFEST_FORMAT,
+            "num_lines": self.num_lines,
+            "seed": self.seed,
+            "families": list(self.families),
+            "classes": list(self.classes),
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CorpusManifest":
+        """Rebuild a manifest, validating the format marker."""
+        if data.get("format") != MANIFEST_FORMAT:
+            raise ServiceError(
+                f"not a corpus manifest (format {data.get('format')!r}, "
+                f"expected {MANIFEST_FORMAT!r})"
+            )
+        return cls(
+            num_lines=data["num_lines"],
+            seed=data["seed"],
+            families=tuple(data["families"]),
+            classes=tuple(data["classes"]),
+            entries=tuple(
+                CorpusEntry.from_dict(entry) for entry in data["entries"]
+            ),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the manifest as JSON; returns the path written."""
+        path = Path(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CorpusManifest":
+        """Read a manifest written by :meth:`save`.
+
+        Raises :class:`ServiceError` on malformed JSON or a wrong format
+        marker.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"{path}: not valid JSON ({error})") from None
+        if not isinstance(data, dict):
+            raise ServiceError(f"{path}: manifest must be a JSON object")
+        return cls.from_dict(data)
+
+
+def tractable_classes() -> tuple[EquivalenceType, ...]:
+    """The classes matchable without inverse access or brute force.
+
+    Trivial, classically easy and quantum-easy per the Fig. 1
+    classification — the default corpus sticks to these so a plain
+    ``repro run`` completes without failures; ``--classes all`` opts into
+    the conditionally-easy and UNIQUE-SAT-hard classes.
+    """
+    allowed = (Hardness.TRIVIAL, Hardness.CLASSICAL_EASY, Hardness.QUANTUM_EASY)
+    return tuple(eq for eq in EquivalenceType if classify(eq) in allowed)
+
+
+def _entry_seed(corpus_seed: int, pair_id: str) -> int:
+    digest = hashlib.sha256(f"{corpus_seed}:{pair_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _library_base(num_lines: int, index: int) -> ReversibleCircuit:
+    catalogue = library.catalogue(num_lines)
+    names = sorted(catalogue)
+    return catalogue[names[index % len(names)]]()
+
+
+def _transposition_gate(
+    num_lines: int, rng: _random.Random
+) -> MCTGate:
+    """A fully-controlled Toffoli: swaps exactly two truth-table entries."""
+    target = rng.randrange(num_lines)
+    pattern = rng.getrandbits(num_lines)
+    controls = tuple(
+        Control(line, bool((pattern >> line) & 1))
+        for line in range(num_lines)
+        if line != target
+    )
+    return MCTGate(controls, target)
+
+
+def _build_pair(
+    family: str,
+    equivalence: EquivalenceType,
+    num_lines: int,
+    index: int,
+    rng: _random.Random,
+) -> tuple[ReversibleCircuit, ReversibleCircuit, bool]:
+    """Build ``(circuit1, circuit2, expected_equivalent)`` for one entry."""
+    if family == "library":
+        base = _library_base(num_lines, index)
+    else:
+        base = random_circuit(num_lines, 4 * num_lines, rng, name="base")
+    circuit1, circuit2, _ = make_instance(base, equivalence, rng)
+    if family == "adversarial":
+        circuit1.append(_transposition_gate(num_lines, rng))
+        return circuit1, circuit2, False
+    return circuit1, circuit2, True
+
+
+def generate_corpus(
+    out_dir: str | Path,
+    *,
+    num_lines: int = 4,
+    classes: tuple[EquivalenceType, ...] | None = None,
+    families: tuple[str, ...] = DEFAULT_FAMILIES,
+    pairs_per_class: int = 1,
+    seed: int | None = None,
+) -> CorpusManifest:
+    """Generate a corpus directory and its ``manifest.json``.
+
+    Args:
+        out_dir: directory to create/populate (circuit files + manifest).
+        num_lines: bit width of every pair.
+        classes: equivalence classes to cover; defaults to
+            :func:`tractable_classes`.
+        families: problem families to draw from (subset of
+            :data:`DEFAULT_FAMILIES`).
+        pairs_per_class: pairs per (family, class) cell.
+        seed: corpus seed; ``None`` draws one (the manifest records it, so
+            every corpus is reproducible after the fact).
+
+    Returns:
+        The manifest, already saved to ``out_dir/manifest.json``.
+    """
+    for family in families:
+        if family not in DEFAULT_FAMILIES:
+            raise ServiceError(
+                f"unknown workload family {family!r}; "
+                f"known: {', '.join(DEFAULT_FAMILIES)}"
+            )
+    if "adversarial" in families and num_lines < 2:
+        # On one line the "transposition" degenerates to a bare NOT gate,
+        # which IS a valid negation witness — the pair would be genuinely
+        # equivalent while labelled expected_equivalent=False.
+        raise ServiceError(
+            "the adversarial family needs num_lines >= 2"
+        )
+    if pairs_per_class <= 0:
+        raise ServiceError(
+            f"pairs_per_class must be positive, got {pairs_per_class}"
+        )
+    if classes is None:
+        classes = tractable_classes()
+    if seed is None:
+        seed = _random.SystemRandom().getrandbits(32)
+
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    entries: list[CorpusEntry] = []
+    for family in families:
+        for equivalence in classes:
+            for index in range(pairs_per_class):
+                label = equivalence.label.lower()
+                pair_id = f"{family}-{label}-{index:03d}"
+                entry_seed = _entry_seed(seed, pair_id)
+                rng = _random.Random(entry_seed)
+                circuit1, circuit2, expected = _build_pair(
+                    family, equivalence, num_lines, index, rng
+                )
+                file1 = f"{pair_id}-c1.real"
+                file2 = f"{pair_id}-c2.real"
+                real.write_real(circuit1, out_dir / file1)
+                real.write_real(circuit2, out_dir / file2)
+                entries.append(
+                    CorpusEntry(
+                        pair_id=pair_id,
+                        circuit1=file1,
+                        circuit2=file2,
+                        equivalence=equivalence.label,
+                        family=family,
+                        num_lines=num_lines,
+                        expected_equivalent=expected,
+                        seed=entry_seed,
+                    )
+                )
+
+    manifest = CorpusManifest(
+        num_lines=num_lines,
+        seed=seed,
+        families=tuple(families),
+        classes=tuple(eq.label for eq in classes),
+        entries=tuple(entries),
+    )
+    manifest.save(out_dir / MANIFEST_NAME)
+    return manifest
+
+
+def load_entry_circuits(
+    entry: CorpusEntry, root: str | Path
+) -> tuple[ReversibleCircuit, ReversibleCircuit]:
+    """Load one entry's circuit pair relative to the manifest directory."""
+    root = Path(root)
+    return (
+        real.read_real(root / entry.circuit1),
+        real.read_real(root / entry.circuit2),
+    )

@@ -1,0 +1,169 @@
+"""Unit tests for the result caches and the engine cache adapter."""
+
+from __future__ import annotations
+
+import json
+
+from repro.circuits.random import random_circuit
+from repro.core.engine import MatchingConfig, MatchingEngine
+from repro.core.equivalence import EquivalenceType
+from repro.core.verify import make_instance
+from repro.service.cache import (
+    DiskCache,
+    EngineCacheAdapter,
+    LRUCache,
+    TieredCache,
+    build_cache,
+)
+from repro.service.serialize import result_to_dict
+
+
+def _record(tag: str) -> dict:
+    return {"matcher": tag, "result": {"queries": 1}}
+
+
+class TestLRUCache:
+    def test_roundtrip_and_stats(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get("missing") is None
+        cache.put("key", _record("a"))
+        assert cache.get("key") == _record("a")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", _record("a"))
+        cache.put("b", _record("b"))
+        cache.get("a")  # refresh a; b is now the LRU entry
+        cache.put("c", _record("c"))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert len(cache) == 2
+
+
+class TestDiskCache:
+    def test_persists_across_instances(self, tmp_path):
+        directory = tmp_path / "cache"
+        DiskCache(directory).put("key", _record("a"))
+        reopened = DiskCache(directory)
+        assert reopened.get("key") == _record("a")
+        assert len(reopened) == 1
+
+    def test_corrupt_file_reads_as_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("key", _record("a"))
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{ torn", encoding="utf-8")
+        assert cache.get("key") is None
+
+    def test_envelope_key_mismatch_reads_as_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("key", _record("a"))
+        path = next(tmp_path.glob("*.json"))
+        envelope = json.loads(path.read_text())
+        envelope["key"] = "some-other-key"
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert cache.get("key") is None
+
+
+class TestTieredCache:
+    def test_put_writes_both_and_slow_hit_promotes(self, tmp_path):
+        fast, slow = LRUCache(maxsize=8), DiskCache(tmp_path)
+        tiered = TieredCache(fast, slow)
+        tiered.put("key", _record("a"))
+        assert len(fast) == 1 and len(slow) == 1
+
+        cold_fast = LRUCache(maxsize=8)
+        tiered = TieredCache(cold_fast, slow)
+        assert tiered.get("key") == _record("a")  # served by the slow tier
+        assert len(cold_fast) == 1  # ...and promoted
+
+    def test_build_cache_shapes(self, tmp_path):
+        assert isinstance(build_cache(), LRUCache)
+        tiered = build_cache(disk_dir=tmp_path)
+        assert isinstance(tiered, TieredCache)
+        assert isinstance(tiered.slow, DiskCache)
+
+
+class TestEngineCacheAdapter:
+    def test_store_then_lookup_roundtrip(self, rng):
+        base = random_circuit(4, 12, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.I_P, rng)
+        config = MatchingConfig()
+        engine = MatchingEngine(config)
+        result = engine.match(c1, c2, EquivalenceType.I_P, rng=3)
+
+        adapter = EngineCacheAdapter(LRUCache())
+        assert adapter.lookup(c1, c2, EquivalenceType.I_P, config) is None
+        adapter.store(c1, c2, EquivalenceType.I_P, config, result, "i-p/x")
+        hit = adapter.lookup(c1, c2, EquivalenceType.I_P, config)
+        assert hit is not None
+        cached_result, matcher = hit
+        assert matcher == "i-p/x"
+        assert result_to_dict(cached_result) == result_to_dict(result)
+        # A different policy is a different key.
+        assert (
+            adapter.lookup(c1, c2, EquivalenceType.I_P, MatchingConfig(epsilon=0.5))
+            is None
+        )
+
+    def test_mutation_between_batches_is_not_served_a_stale_key(self, rng):
+        # The lookup->store memo must not outlive one pair: mutating a
+        # circuit in place and looking it up again recomputes the key.
+        circuit = random_circuit(4, 8, rng)
+        adapter = EngineCacheAdapter(LRUCache())
+        config = MatchingConfig()
+        engine = MatchingEngine(config)
+        result = engine.match(circuit, circuit.copy(), EquivalenceType.I_I)
+        adapter.lookup(circuit, circuit, EquivalenceType.I_I, config)
+        key_before = adapter.key_for(circuit, circuit, EquivalenceType.I_I, config)
+        adapter.store(circuit, circuit, EquivalenceType.I_I, config, result)
+
+        mutation = random_circuit(4, 1, rng)
+        circuit.append(mutation.gates[0])
+        assert (
+            adapter.key_for(circuit, circuit, EquivalenceType.I_I, config)
+            != key_before
+        )
+        assert adapter.lookup(circuit, circuit, EquivalenceType.I_I, config) is None
+
+    def test_failure_records_read_as_miss(self, rng):
+        cache = LRUCache()
+        adapter = EngineCacheAdapter(cache)
+        circuit = random_circuit(4, 8, rng)
+        config = MatchingConfig()
+        key = adapter.key_for(circuit, circuit, EquivalenceType.I_P, config)
+        cache.put(key, {"matcher": "x", "error": "boom", "result": None})
+        assert adapter.lookup(circuit, circuit, EquivalenceType.I_P, config) is None
+
+    def test_match_many_consults_the_cache(self, rng):
+        base = random_circuit(4, 12, rng)
+        pairs = [
+            make_instance(base, equivalence, rng)[:2] + (equivalence,)
+            for equivalence in (EquivalenceType.I_P, EquivalenceType.P_I)
+        ]
+        engine = MatchingEngine()
+        adapter = EngineCacheAdapter(LRUCache())
+
+        cold = engine.match_many(pairs, rng=5, result_cache=adapter)
+        assert cold.cache_hits == 0 and cold.num_matched == 2
+
+        warm = engine.match_many(pairs, rng=5, result_cache=adapter)
+        assert warm.cache_hits == 2
+        assert all(entry.cached for entry in warm.entries)
+        # Aggregates count queries *spent by this batch*: a fully cached
+        # batch built no oracles, whatever the per-entry results record.
+        assert warm.classical_queries == 0 and warm.quantum_queries == 0
+        assert cold.classical_queries > 0
+        assert [entry.matcher for entry in warm.entries] == [
+            entry.matcher for entry in cold.entries
+        ]
+        assert [result_to_dict(entry.result) for entry in warm.entries] == [
+            result_to_dict(entry.result) for entry in cold.entries
+        ]
+        assert "from cache" in warm.summary()
+        assert "cached" in warm.to_table()

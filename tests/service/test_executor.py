@@ -1,0 +1,111 @@
+"""Unit tests for the execution backends.
+
+The load-bearing property is the acceptance criterion of the service
+subsystem: a :class:`ParallelExecutor` with four workers produces
+byte-identical per-pair results to a :class:`SerialExecutor` for the same
+seed, because every task carries its own derived RNG seed and shares no
+state with its neighbours.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.circuits.random import random_circuit
+from repro.core.engine import MatchingConfig
+from repro.core.equivalence import EquivalenceType
+from repro.core.verify import make_instance
+from repro.service.executor import (
+    PairTask,
+    ParallelExecutor,
+    SerialExecutor,
+    derive_seed,
+)
+
+
+@pytest.fixture
+def tasks(rng):
+    """A mixed batch: tractable classes plus one UNIQUE-SAT-hard failure."""
+    classes = [
+        EquivalenceType.I_N,
+        EquivalenceType.I_P,
+        EquivalenceType.P_I,
+        EquivalenceType.N_I,
+        EquivalenceType.NP_I,
+        EquivalenceType.N_N,  # hard: records an error instead of witnesses
+    ]
+    batch = []
+    for index, equivalence in enumerate(classes):
+        base = random_circuit(4, 16, rng)
+        c1, c2, _ = make_instance(base, equivalence, rng)
+        batch.append(
+            PairTask(
+                index=index,
+                circuit1=c1,
+                circuit2=c2,
+                equivalence=equivalence.label,
+                seed=derive_seed(1234, index),
+                pair_id=f"pair-{index}",
+            )
+        )
+    return batch
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_decorrelated(self):
+        assert derive_seed(7, 0) == derive_seed(7, 0)
+        assert derive_seed(7, 0) != derive_seed(7, 1)
+        assert derive_seed(7, 0) != derive_seed(8, 0)
+
+    def test_none_base_stays_none(self):
+        assert derive_seed(None, 5) is None
+
+
+class TestSerialExecutor:
+    def test_outcomes_in_order_with_errors_recorded(self, tasks):
+        outcomes = SerialExecutor().execute(tasks, MatchingConfig())
+        assert [outcome.index for outcome in outcomes] == list(range(len(tasks)))
+        assert [outcome.pair_id for outcome in outcomes] == [
+            task.pair_id for task in tasks
+        ]
+        hard = outcomes[-1]
+        assert not hard.matched and "UNIQUE-SAT" in hard.error
+        for outcome in outcomes[:-1]:
+            assert outcome.matched and outcome.matcher is not None
+
+    def test_results_are_plain_json(self, tasks):
+        outcomes = SerialExecutor().execute(tasks[:2], MatchingConfig())
+        json.dumps([outcome.result for outcome in outcomes])  # must not raise
+
+
+class TestParallelExecutor:
+    def test_four_workers_byte_identical_to_serial(self, tasks):
+        config = MatchingConfig()
+        serial = SerialExecutor().execute(tasks, config)
+        parallel = ParallelExecutor(workers=4).execute(tasks, config)
+        serial_bytes = json.dumps(
+            [dataclasses.asdict(outcome) for outcome in serial], sort_keys=True
+        ).encode("utf-8")
+        parallel_bytes = json.dumps(
+            [dataclasses.asdict(outcome) for outcome in parallel], sort_keys=True
+        ).encode("utf-8")
+        assert serial_bytes == parallel_bytes
+
+    def test_chunk_size_one_still_ordered(self, tasks):
+        outcomes = ParallelExecutor(workers=2, chunk_size=1).execute(
+            tasks, MatchingConfig()
+        )
+        assert [outcome.index for outcome in outcomes] == list(range(len(tasks)))
+
+    def test_single_worker_falls_back_to_serial_path(self, tasks):
+        outcomes = ParallelExecutor(workers=1).execute(tasks[:2], MatchingConfig())
+        assert len(outcomes) == 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(chunk_size=0)

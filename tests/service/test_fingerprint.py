@@ -1,0 +1,131 @@
+"""Unit tests for canonical oracle fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.library import from_permutation
+from repro.circuits.permutation import Permutation
+from repro.circuits.random import random_circuit
+from repro.core.engine import MatchingConfig
+from repro.core.equivalence import EquivalenceType
+from repro.exceptions import FingerprintError
+from repro.oracles.oracle import CircuitOracle, FunctionOracle, PermutationOracle
+from repro.quantum.oracle import QuantumCircuitOracle
+from repro.service.fingerprint import (
+    OracleFingerprint,
+    config_digest,
+    fingerprint,
+    pair_key,
+)
+
+
+class TestFunctionalFingerprints:
+    def test_circuit_and_its_permutation_collide(self, small_random_circuit):
+        fp_circuit = fingerprint(small_random_circuit)
+        fp_table = fingerprint(Permutation.from_circuit(small_random_circuit))
+        assert fp_circuit == fp_table
+        assert fp_circuit.kind == "function"
+
+    def test_resynthesised_circuit_collides(self, rng):
+        circuit = random_circuit(3, 10, rng)
+        resynthesis = from_permutation(Permutation.from_circuit(circuit))
+        assert circuit.gates != resynthesis.gates  # different structure...
+        assert fingerprint(circuit) == fingerprint(resynthesis)  # ...same function
+
+    def test_different_functions_differ(self, rng):
+        first = random_circuit(4, 12, rng)
+        second = random_circuit(4, 12, rng)
+        if first.truth_table() == second.truth_table():  # pragma: no cover
+            pytest.skip("random circuits collided")
+        assert fingerprint(first) != fingerprint(second)
+
+    def test_inverse_flag_is_part_of_identity(self, small_random_circuit):
+        plain = fingerprint(small_random_circuit)
+        inverse = fingerprint(small_random_circuit, with_inverse=True)
+        assert plain.digest == inverse.digest
+        assert plain != inverse
+        assert plain.key != inverse.key
+
+
+class TestOracleDispatch:
+    def test_circuit_oracle_uses_white_box(self, small_random_circuit):
+        oracle = CircuitOracle(small_random_circuit, with_inverse=True)
+        fp = fingerprint(oracle)
+        assert fp.with_inverse is True
+        assert fp.digest == fingerprint(small_random_circuit).digest
+        assert oracle.query_count == 0  # fingerprinting charges no queries
+
+    def test_permutation_oracle(self, rng):
+        permutation = Permutation.from_circuit(random_circuit(4, 8, rng))
+        oracle = PermutationOracle(permutation)
+        assert fingerprint(oracle).digest == fingerprint(permutation).digest
+
+    def test_quantum_oracle(self, small_random_circuit):
+        oracle = QuantumCircuitOracle(small_random_circuit)
+        assert fingerprint(oracle).digest == fingerprint(small_random_circuit).digest
+        assert oracle.query_count == 0
+
+    def test_opaque_oracle_tabulates_without_charging(self):
+        oracle = FunctionOracle(lambda value: value ^ 0b101, 3)
+        fp = fingerprint(oracle)
+        assert fp.kind == "function"
+        assert oracle.query_count == 0
+
+    def test_opaque_wide_oracle_raises(self):
+        oracle = FunctionOracle(lambda value: value, 20)
+        with pytest.raises(FingerprintError):
+            fingerprint(oracle, width_limit=8)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(FingerprintError):
+            fingerprint(object())
+
+
+class TestStructuralFallback:
+    def test_wide_circuit_falls_back_to_structure(self, rng):
+        circuit = random_circuit(6, 10, rng)
+        fp = fingerprint(circuit, width_limit=4)
+        assert fp.kind == "structure"
+
+    def test_structural_miss_never_wrong_hit(self, rng):
+        # Functionally equal but structurally different circuits get
+        # *different* structural fingerprints: a cache miss, not a wrong hit.
+        circuit = random_circuit(3, 8, rng)
+        resynthesis = from_permutation(Permutation.from_circuit(circuit))
+        fp1 = fingerprint(circuit, width_limit=1)
+        fp2 = fingerprint(resynthesis, width_limit=1)
+        assert fp1 != fp2
+
+    def test_identical_structure_collides(self, rng):
+        circuit = random_circuit(5, 12, rng)
+        assert fingerprint(circuit, width_limit=1) == fingerprint(
+            circuit.copy(), width_limit=1
+        )
+
+
+class TestPairKey:
+    def test_key_distinguishes_policy_and_class(self, small_random_circuit):
+        fp = fingerprint(small_random_circuit)
+        base = MatchingConfig()
+        keys = {
+            pair_key(fp, fp, EquivalenceType.NP_I, base),
+            pair_key(fp, fp, EquivalenceType.N_I, base),
+            pair_key(fp, fp, EquivalenceType.NP_I, MatchingConfig(epsilon=0.5)),
+            pair_key(fp, fp, EquivalenceType.NP_I, MatchingConfig(allow_quantum=False)),
+            pair_key(fp, fp, EquivalenceType.NP_I, MatchingConfig(max_queries=7)),
+        }
+        assert len(keys) == 5
+
+    def test_key_is_stable_across_processes(self):
+        # Pure function of its inputs — no id()s, no hash randomisation.
+        fp = OracleFingerprint(num_lines=4, kind="function", digest="ab" * 32)
+        key = pair_key(fp, fp, EquivalenceType.I_P, MatchingConfig())
+        assert key == pair_key(fp, fp, EquivalenceType.I_P, MatchingConfig())
+        assert key.startswith("I-P|4:function:fwd:")
+
+    def test_config_digest_stability(self):
+        assert config_digest(MatchingConfig()) == config_digest(MatchingConfig())
+        assert config_digest(MatchingConfig()) != config_digest(
+            MatchingConfig(with_inverse=True)
+        )

@@ -1,0 +1,219 @@
+"""Integration tests for the MatchingService pipeline.
+
+Covers the service-level acceptance criteria: a warm cache re-run of a
+manifest performs zero oracle queries, a parallel manifest run writes the
+same records as a serial one, and an interrupted run resumes from its
+JSONL store without re-executing finished pairs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.circuits.random import random_circuit
+from repro.core.engine import MatchingConfig
+from repro.core.equivalence import EquivalenceType
+from repro.core.verify import make_instance
+from repro.exceptions import ServiceError
+from repro.oracles.oracle import ReversibleOracle
+from repro.quantum.oracle import QuantumCircuitOracle
+from repro.service.cache import LRUCache, build_cache
+from repro.service.executor import ParallelExecutor, SerialExecutor
+from repro.service.pipeline import MatchingService, ResultStore
+from repro.service.workload import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """One small corpus shared by the pipeline tests (read-only)."""
+    root = tmp_path_factory.mktemp("corpus")
+    generate_corpus(root, num_lines=4, pairs_per_class=1, seed=42)
+    return root
+
+
+class TestResultStore:
+    def test_append_load_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        assert store.load() == {}
+        store.append({"pair_id": "a", "status": "ok"})
+        store.append({"pair_id": "b", "status": "failed"})
+        loaded = store.load()
+        assert set(loaded) == {"a", "b"}
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.append({"pair_id": "a", "status": "ok"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"pair_id": "b", "stat')  # crash mid-append
+        assert set(store.load()) == {"a"}
+
+    def test_newest_record_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        store.append({"pair_id": "a", "status": "failed"})
+        store.append({"pair_id": "a", "status": "ok"})
+        assert store.load()["a"]["status"] == "ok"
+
+
+class TestRunManifest:
+    def test_serial_run_matches_equivalent_families(self, corpus):
+        report = MatchingService().run_manifest(corpus, seed=5)
+        assert report.total == 24
+        assert report.executed == 24
+        for record in report.records:
+            if record["family"] != "adversarial":
+                assert record["status"] == "ok", record
+        assert report.pairs_per_second > 0
+        assert "pairs/s" in report.summary()
+        assert "status" in report.to_table()
+
+    def test_parallel_run_writes_identical_records(self, corpus):
+        serial = MatchingService(executor=SerialExecutor()).run_manifest(
+            corpus, seed=9
+        )
+        parallel = MatchingService(
+            executor=ParallelExecutor(workers=4)
+        ).run_manifest(corpus, seed=9)
+        assert json.dumps(serial.records, sort_keys=True) == json.dumps(
+            parallel.records, sort_keys=True
+        )
+
+    def test_verify_flags_adversarial_matches(self, corpus):
+        report = MatchingService(verify=True).run_manifest(corpus, seed=5)
+        verdicts = {
+            record["family"]: record.get("verified")
+            for record in report.records
+            if record["status"] == "ok"
+        }
+        assert verdicts["random"] is True and verdicts["library"] is True
+        adversarial_ok = [
+            record
+            for record in report.records
+            if record["family"] == "adversarial" and record["status"] == "ok"
+        ]
+        # Near-misses that "match" under the promise must fail verification
+        # (the trivial I-I matcher, and any randomised matcher that got
+        # lucky) — that is exactly what the family exists to expose.
+        assert adversarial_ok and all(
+            record["verified"] is False for record in adversarial_ok
+        )
+
+    def test_store_records_stream_in_manifest_order(self, corpus, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        report = MatchingService().run_manifest(
+            corpus, store_path=store_path, seed=5
+        )
+        lines = [
+            json.loads(line)
+            for line in store_path.read_text().splitlines()
+            if line
+        ]
+        assert [record["pair_id"] for record in lines] == [
+            record["pair_id"] for record in report.records
+        ]
+
+
+class TestWarmCache:
+    def test_warm_rerun_executes_nothing(self, corpus):
+        service = MatchingService(cache=build_cache())
+        cold = service.run_manifest(corpus, seed=5)
+        warm = service.run_manifest(corpus, seed=5)
+        assert cold.executed == 24 and cold.cache_hits == 0
+        assert warm.executed == 0 and warm.cache_hits == 24
+        assert warm.matched == cold.matched and warm.failed == cold.failed
+
+    def test_warm_rerun_performs_zero_oracle_queries(self, corpus, monkeypatch):
+        service = MatchingService(cache=build_cache())
+        service.run_manifest(corpus, seed=5)
+
+        def forbidden(self, *args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("warm cache run touched an oracle")
+
+        monkeypatch.setattr(ReversibleOracle, "query", forbidden)
+        monkeypatch.setattr(ReversibleOracle, "query_inverse", forbidden)
+        monkeypatch.setattr(QuantumCircuitOracle, "query_state", forbidden)
+        monkeypatch.setattr(QuantumCircuitOracle, "query_basis", forbidden)
+        warm = service.run_manifest(corpus, seed=5)
+        assert warm.cache_hits == 24
+        assert warm.classical_queries == 0 and warm.quantum_queries == 0
+
+    def test_disk_cache_survives_service_restart(self, corpus, tmp_path):
+        cache_dir = tmp_path / "cache"
+        MatchingService(cache=build_cache(disk_dir=cache_dir)).run_manifest(
+            corpus, seed=5
+        )
+        fresh = MatchingService(cache=build_cache(disk_dir=cache_dir))
+        warm = fresh.run_manifest(corpus, seed=5)
+        assert warm.executed == 0 and warm.cache_hits == 24
+
+
+class TestResume:
+    def test_resume_skips_done_pairs(self, corpus, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        MatchingService().run_manifest(corpus, store_path=store_path, seed=5)
+        # Simulate a crash: keep only the first 10 records.
+        lines = store_path.read_text().splitlines()
+        store_path.write_text("\n".join(lines[:10]) + "\n", encoding="utf-8")
+
+        report = MatchingService().run_manifest(
+            corpus, store_path=store_path, resume=True, seed=5
+        )
+        assert report.resumed == 10
+        assert report.executed == report.total - 10
+        assert {
+            record["status"] for record in report.records[:10]
+        } == {"resumed"}
+        # The store is now complete again.
+        assert len(ResultStore(store_path).load()) == report.total
+
+    def test_resumed_pairs_reuse_their_original_seed_slot(self, corpus, tmp_path):
+        # A full run and a crash+resume run must produce identical stores
+        # (modulo record order), because per-pair seeds derive from the
+        # manifest position, not from the executed batch.
+        full_store = tmp_path / "full.jsonl"
+        MatchingService().run_manifest(corpus, store_path=full_store, seed=5)
+        crash_store = tmp_path / "crash.jsonl"
+        MatchingService().run_manifest(corpus, store_path=crash_store, seed=5)
+        lines = crash_store.read_text().splitlines()
+        crash_store.write_text("\n".join(lines[:7]) + "\n", encoding="utf-8")
+        MatchingService().run_manifest(
+            corpus, store_path=crash_store, resume=True, seed=5
+        )
+        full = ResultStore(full_store).load()
+        resumed = ResultStore(crash_store).load()
+        assert full == resumed
+
+    def test_resume_requires_store(self, corpus):
+        with pytest.raises(ServiceError, match="resume requires"):
+            MatchingService().run_manifest(corpus, resume=True)
+
+
+class TestMatchPairs:
+    def test_in_memory_pairs_with_default_class(self, rng):
+        base = random_circuit(4, 12, rng)
+        pairs = [make_instance(base, EquivalenceType.I_P, rng)[:2] for _ in range(3)]
+        service = MatchingService(cache=LRUCache())
+        report = service.match_pairs(pairs, equivalence="I-P", seed=2)
+        assert report.matched == 3
+        # The three pairs share the base circuit but differ in C1, so no
+        # intra-run hits are guaranteed; a re-run hits for all of them.
+        warm = service.match_pairs(pairs, equivalence=EquivalenceType.I_P, seed=2)
+        assert warm.cache_hits == 3 and warm.executed == 0
+
+    def test_bad_tuples_are_rejected(self, rng):
+        circuit = random_circuit(3, 6, rng)
+        service = MatchingService()
+        with pytest.raises(ServiceError, match="elements"):
+            service.match_pairs([(circuit,)])
+        with pytest.raises(ServiceError, match="no equivalence class"):
+            service.match_pairs([(circuit, circuit)])
+
+    def test_budget_is_respected_per_pair(self, rng):
+        base = random_circuit(4, 12, rng)
+        c1, c2, _ = make_instance(base, EquivalenceType.P_I, rng)
+        service = MatchingService(MatchingConfig(max_queries=1))
+        report = service.match_pairs([(c1, c2, "P-I")], seed=2)
+        assert report.failed == 1
+        assert "QueryBudgetExceededError" in report.records[0]["error"]

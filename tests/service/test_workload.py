@@ -1,0 +1,137 @@
+"""Unit tests for corpus generation and the manifest format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.equivalence import EquivalenceType, Hardness, classify
+from repro.exceptions import ServiceError
+from repro.service.workload import (
+    DEFAULT_FAMILIES,
+    CorpusManifest,
+    generate_corpus,
+    load_entry_circuits,
+    tractable_classes,
+)
+
+
+class TestTractableClasses:
+    def test_excludes_hard_and_conditional_classes(self):
+        classes = tractable_classes()
+        assert EquivalenceType.NP_I in classes
+        assert EquivalenceType.I_I in classes
+        for equivalence in classes:
+            assert classify(equivalence) not in (
+                Hardness.UNIQUE_SAT_HARD,
+                Hardness.CONDITIONALLY_EASY,
+            )
+        assert len(classes) == 8
+
+
+class TestGenerateCorpus:
+    def test_layout_and_manifest(self, tmp_path):
+        manifest = generate_corpus(
+            tmp_path, num_lines=4, pairs_per_class=2, seed=99
+        )
+        expected = len(DEFAULT_FAMILIES) * len(tractable_classes()) * 2
+        assert len(manifest.entries) == expected
+        assert (tmp_path / "manifest.json").exists()
+        for entry in manifest.entries:
+            assert (tmp_path / entry.circuit1).exists()
+            assert (tmp_path / entry.circuit2).exists()
+            assert entry.num_lines == 4
+
+    def test_deterministic_given_seed(self, tmp_path):
+        dir1, dir2 = tmp_path / "one", tmp_path / "two"
+        m1 = generate_corpus(dir1, num_lines=4, seed=7)
+        m2 = generate_corpus(dir2, num_lines=4, seed=7)
+        assert m1.to_dict() == m2.to_dict()
+        for entry in m1.entries:
+            assert (dir1 / entry.circuit1).read_bytes() == (
+                dir2 / entry.circuit1
+            ).read_bytes()
+
+    def test_all_sixteen_classes_supported(self, tmp_path):
+        manifest = generate_corpus(
+            tmp_path,
+            classes=tuple(EquivalenceType),
+            families=("random",),
+            seed=3,
+        )
+        assert len(manifest.entries) == 16
+        assert set(manifest.classes) == {eq.label for eq in EquivalenceType}
+
+    def test_equivalent_families_are_equivalent(self, tmp_path):
+        manifest = generate_corpus(
+            tmp_path,
+            classes=(EquivalenceType.I_I,),
+            families=("random", "library"),
+            seed=21,
+        )
+        for entry in manifest.entries:
+            c1, c2 = load_entry_circuits(entry, tmp_path)
+            assert entry.expected_equivalent
+            assert c1.truth_table() == c2.truth_table()  # I-I: literally equal
+
+    def test_adversarial_pairs_are_near_misses(self, tmp_path):
+        manifest = generate_corpus(
+            tmp_path,
+            classes=(EquivalenceType.I_I,),
+            families=("adversarial",),
+            pairs_per_class=3,
+            seed=5,
+        )
+        for entry in manifest.entries:
+            assert not entry.expected_equivalent
+            c1, c2 = load_entry_circuits(entry, tmp_path)
+            differing = sum(
+                1
+                for a, b in zip(c1.truth_table(), c2.truth_table())
+                if a != b
+            )
+            # One appended transposition: exactly two entries swapped.
+            assert differing == 2
+
+    def test_rejects_unknown_family_and_bad_count(self, tmp_path):
+        with pytest.raises(ServiceError):
+            generate_corpus(tmp_path, families=("bogus",))
+        with pytest.raises(ServiceError):
+            generate_corpus(tmp_path, pairs_per_class=0)
+
+    def test_adversarial_family_needs_two_lines(self, tmp_path):
+        # On one line the transposition degenerates to a NOT gate — a
+        # genuine negation witness — so the family refuses the width.
+        with pytest.raises(ServiceError, match="num_lines >= 2"):
+            generate_corpus(tmp_path, num_lines=1, families=("adversarial",))
+        generate_corpus(
+            tmp_path, num_lines=1, families=("random",), seed=1
+        )  # other families are fine on one line
+
+
+class TestManifestFormat:
+    def test_save_load_roundtrip(self, tmp_path):
+        manifest = generate_corpus(tmp_path, families=("random",), seed=1)
+        loaded = CorpusManifest.load(tmp_path / "manifest.json")
+        assert loaded == manifest
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("{ not json", encoding="utf-8")
+        with pytest.raises(ServiceError, match="not valid JSON"):
+            CorpusManifest.load(path)
+
+    def test_load_rejects_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text('{"format": "something-else"}', encoding="utf-8")
+        with pytest.raises(ServiceError, match="not a corpus manifest"):
+            CorpusManifest.load(path)
+
+    def test_entry_missing_field_is_reported(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(
+            '{"format": "repro-corpus/v1", "num_lines": 4, "seed": 1, '
+            '"families": [], "classes": [], "entries": [{"pair_id": "x"}]}',
+            encoding="utf-8",
+        )
+        with pytest.raises(ServiceError, match="missing field"):
+            CorpusManifest.load(path)

@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.circuits import io, library
 from repro.circuits.random import random_line_permutation, random_negation
 from repro.circuits.transforms import transformed_circuit
 from repro.cli import build_parser, main
+from repro.core.equivalence import EquivalenceType
+from repro.core.verify import make_instance
 
 
 @pytest.fixture
@@ -95,6 +99,157 @@ class TestMatch:
         scrambled, base = circuit_files
         assert main(["match", scrambled, base, "--equivalence", "N-N"]) == 2
         assert "UNIQUE-SAT" in capsys.readouterr().err
+
+
+class TestMatchMany:
+    @pytest.fixture
+    def manifest(self, tmp_path, rng):
+        """A two-pair manifest: an NP-I instance and an I-N instance."""
+        paths = {}
+        for label, equivalence in (
+            ("np_i", EquivalenceType.NP_I),
+            ("i_n", EquivalenceType.I_N),
+        ):
+            base = library.hidden_weighted_bit(4)
+            c1, c2, _ = make_instance(base, equivalence, rng)
+            path1 = tmp_path / f"{label}_c1.real"
+            path2 = tmp_path / f"{label}_c2.real"
+            io.write_real(c1, path1)
+            io.write_real(c2, path2)
+            paths[label] = (path1, path2)
+        manifest_path = tmp_path / "pairs.txt"
+        manifest_path.write_text(
+            "# promised pairs\n"
+            f"{paths['np_i'][0]} {paths['np_i'][1]} NP-I\n"
+            f"{paths['i_n'][0]} {paths['i_n'][1]} I-N\n",
+            encoding="utf-8",
+        )
+        return manifest_path
+
+    def test_match_many_success(self, manifest, capsys):
+        assert main(["match-many", str(manifest), "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "2/2 matched" in output
+        assert "NP-I" in output and "I-N" in output
+
+    def test_match_many_default_equivalence_applies(self, tmp_path, rng, capsys):
+        base = library.hidden_weighted_bit(4)
+        c1, c2, _ = make_instance(base, EquivalenceType.I_N, rng)
+        path1, path2 = tmp_path / "a.real", tmp_path / "b.real"
+        io.write_real(c1, path1)
+        io.write_real(c2, path2)
+        manifest = tmp_path / "pairs.txt"
+        manifest.write_text(f"{path1} {path2}\n", encoding="utf-8")
+        code = main(["match-many", str(manifest), "--equivalence", "I-N"])
+        assert code == 0
+        assert "1/1 matched" in capsys.readouterr().out
+
+    def test_match_many_malformed_line(self, tmp_path, capsys):
+        manifest = tmp_path / "pairs.txt"
+        manifest.write_text("a.real b.real NP-I extra-field\n", encoding="utf-8")
+        assert main(["match-many", str(manifest)]) == 2
+        err = capsys.readouterr().err
+        assert "expected 'C1 C2 [EQUIVALENCE]'" in err
+
+    def test_match_many_unknown_class(self, tmp_path, capsys):
+        manifest = tmp_path / "pairs.txt"
+        manifest.write_text("a.real b.real NOT-A-CLASS\n", encoding="utf-8")
+        assert main(["match-many", str(manifest)]) == 2
+        assert "unknown equivalence label" in capsys.readouterr().err
+
+    def test_match_many_empty_manifest(self, tmp_path, capsys):
+        manifest = tmp_path / "pairs.txt"
+        manifest.write_text("# nothing but comments\n\n", encoding="utf-8")
+        assert main(["match-many", str(manifest)]) == 2
+        assert "no circuit pairs" in capsys.readouterr().err
+
+    def test_match_many_budget_exceeded_exit_code(self, tmp_path, rng, capsys):
+        base = library.hidden_weighted_bit(4)
+        c1, c2, _ = make_instance(base, EquivalenceType.P_I, rng)
+        path1, path2 = tmp_path / "a.real", tmp_path / "b.real"
+        io.write_real(c1, path1)
+        io.write_real(c2, path2)
+        manifest = tmp_path / "pairs.txt"
+        manifest.write_text(f"{path1} {path2} P-I\n", encoding="utf-8")
+        code = main(["match-many", str(manifest), "--budget", "1", "--seed", "3"])
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "QueryBudgetExceededError" in output
+        assert "0/1 matched" in output
+
+
+class TestCorpusRun:
+    def test_corpus_then_run_then_resume(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        code = main(
+            [
+                "corpus",
+                str(corpus),
+                "--num-lines",
+                "4",
+                "--families",
+                "random,library",
+                "--classes",
+                "I-N,P-I",
+                "--seed",
+                "11",
+            ]
+        )
+        assert code == 0
+        assert "generated 4 pairs" in capsys.readouterr().out
+        manifest = corpus / "manifest.json"
+        assert manifest.exists()
+
+        store = tmp_path / "results.jsonl"
+        code = main(
+            ["run", str(corpus), "--store", str(store), "--seed", "5"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "4/4 matched" in output
+        records = [
+            json.loads(line) for line in store.read_text().splitlines() if line
+        ]
+        assert len(records) == 4 and all(r["status"] == "ok" for r in records)
+
+        code = main(
+            ["run", str(corpus), "--store", str(store), "--resume", "--seed", "5"]
+        )
+        assert code == 0
+        assert "4 resumed, 0 executed" in capsys.readouterr().out
+
+    def test_run_rejects_resume_without_store(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        main(
+            [
+                "corpus",
+                str(corpus),
+                "--classes",
+                "I-N",
+                "--families",
+                "random",
+                "--seed",
+                "1",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["run", str(corpus), "--resume"]) == 2
+        assert "resume requires" in capsys.readouterr().err
+
+    def test_run_missing_manifest(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nowhere")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_corpus_rejects_unknown_family(self, tmp_path, capsys):
+        assert main(["corpus", str(tmp_path / "c"), "--families", "bogus"]) == 2
+        assert "unknown workload family" in capsys.readouterr().err
+
+    def test_run_rejects_nonpositive_cache_size(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        main(["corpus", str(corpus), "--classes", "I-N", "--seed", "1"])
+        capsys.readouterr()
+        assert main(["run", str(corpus), "--cache-size", "0"]) == 2
+        assert "--cache-size must be positive" in capsys.readouterr().err
 
 
 class TestDecide:
