@@ -1,32 +1,55 @@
-"""Service throughput: pairs/sec serial vs. parallel vs. cached.
+"""Service throughput: pairs/sec serial vs. parallel vs. cached vs. streamed.
 
 Unlike the other benchmark modules, which reproduce per-pair *query
 counts* from the paper, this one measures the quantity the service layer
-exists for: batch throughput over a generated corpus.  Three backends run
-the same manifest —
+exists for: batch throughput over a generated corpus.  Backends run the
+same manifest —
 
 * serial execution (the baseline the per-pair numbers imply),
 * a 2-worker process pool (must produce identical records; wall-clock
   gain depends on corpus size vs. pool startup cost),
-* a warm result cache (the repeated-workload regime: zero oracle queries).
+* a warm result cache (the repeated-workload regime: zero oracle queries),
 
-The per-backend pairs/sec figures are printed (``pytest -s``) and the
-wall-clock numbers land in the pytest-benchmark JSON, which CI uploads as
-an artifact so the trajectory tracks throughput over time.
+and the execution *APIs* run the same fixed task batch —
+
+* batch (the deprecated ``Executor.execute`` list form),
+* streaming (``Executor.stream``, the as-completed contract),
+* overlap (:class:`OverlapExecutor`, execution pipelined with the
+  consumer on a background thread).
+
+``test_streaming_not_slower_than_batch`` is a CI gate: the streaming API
+exists to *remove* buffering, so it must not cost throughput — the job
+fails if streaming is more than 25% slower than batch on the fixed
+corpus.  The per-backend pairs/sec figures are printed (``pytest -s``)
+and the wall-clock numbers land in the pytest-benchmark JSON, which CI
+uploads as an artifact so the trajectory tracks throughput over time.
 """
 
 from __future__ import annotations
 
 import json
+import time
+import warnings
 
 import pytest
 
 from benchmarks.conftest import emit
 from repro.analysis.report import format_table
+from repro.core.engine import MatchingConfig
 from repro.service.cache import build_cache
-from repro.service.executor import ParallelExecutor, SerialExecutor
+from repro.service.executor import (
+    OverlapExecutor,
+    PairTask,
+    ParallelExecutor,
+    SerialExecutor,
+    derive_seed,
+)
 from repro.service.pipeline import MatchingService
-from repro.service.workload import generate_corpus
+from repro.service.workload import (
+    CorpusManifest,
+    generate_corpus,
+    load_entry_circuits,
+)
 
 #: Corpus shape: 8 tractable classes x 2 families x 2 pairs = 32 pairs.
 CORPUS_SEED = 20240601
@@ -90,6 +113,83 @@ def test_parallel_throughput_matches_serial(benchmark, corpus):
     _report_throughput(
         "service throughput: parallel (2 workers)",
         [("serial", serial), ("parallel", report)],
+    )
+
+
+def _fixed_tasks(corpus) -> list[PairTask]:
+    """The corpus as a ready-made task batch (loading excluded from timing)."""
+    manifest = CorpusManifest.load(corpus / "manifest.json")
+    tasks = []
+    for position, entry in enumerate(manifest.entries):
+        circuit1, circuit2 = load_entry_circuits(entry, corpus)
+        tasks.append(
+            PairTask(
+                index=position,
+                circuit1=circuit1,
+                circuit2=circuit2,
+                equivalence=entry.equivalence,
+                seed=derive_seed(RUN_SEED, position),
+                pair_id=entry.pair_id,
+            )
+        )
+    return tasks
+
+
+def _best_of(runs: int, call) -> float:
+    """Best wall-clock of ``runs`` calls — the least-noise point estimate."""
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        call()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_streaming_not_slower_than_batch(benchmark, corpus):
+    """CI gate: `stream` must stay within 25% of the deprecated batch API."""
+    config = MatchingConfig()
+    tasks = _fixed_tasks(corpus)
+    executor = SerialExecutor()
+    batch_outcomes: list = []
+
+    def batch():
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            batch_outcomes[:] = executor.execute(tasks, config)
+
+    def streaming():
+        return list(executor.stream(tasks, config))
+
+    def overlap():
+        return list(OverlapExecutor(buffer_size=8).stream(tasks, config))
+
+    # Same-shaped point estimates for the gate; the benchmark fixture
+    # additionally records the streaming path in the JSON artifact.
+    batch_time = _best_of(3, batch)
+    streaming_time = _best_of(3, streaming)
+    overlap_time = _best_of(3, overlap)
+    outcomes = benchmark.pedantic(streaming, rounds=3, iterations=1)
+    assert len(outcomes) == len(tasks)
+    assert batch_outcomes == outcomes  # identical outcomes, API for API
+
+    pairs = len(tasks)
+    emit(
+        "execution API throughput: batch vs streaming vs overlap",
+        format_table(
+            ["api", "pairs", "seconds", "pairs/s"],
+            [
+                (label, pairs, f"{seconds:.4f}", f"{pairs / seconds:.1f}")
+                for label, seconds in (
+                    ("batch", batch_time),
+                    ("streaming", streaming_time),
+                    ("overlap", overlap_time),
+                )
+            ],
+        ),
+    )
+    assert streaming_time <= 1.25 * batch_time, (
+        f"streaming ({streaming_time:.4f}s) is more than 25% slower than "
+        f"batch ({batch_time:.4f}s) on the fixed {pairs}-pair corpus"
     )
 
 

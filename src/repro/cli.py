@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven sub-commands cover the workflows a user of the library reaches for
+Eight sub-commands cover the workflows a user of the library reaches for
 most often without writing Python:
 
 * ``repro info CIRCUIT.real`` — line/gate counts, cost metrics and an ASCII
@@ -18,10 +18,15 @@ most often without writing Python:
 * ``repro corpus OUT_DIR`` — generate a workload corpus (circuit files +
   ``manifest.json``) across equivalence classes and problem families;
 * ``repro run MANIFEST`` — execute a corpus manifest through the
-  :class:`~repro.service.MatchingService` pipeline, with ``--workers``
-  (process-pool parallelism), ``--cache``/``--cache-dir`` (result reuse
-  across pairs and runs) and ``--resume`` (skip pairs already in the JSONL
-  result store).
+  streaming :class:`~repro.service.MatchingService` pipeline, with
+  ``--workers`` (process-pool parallelism), ``--overlap`` (pipeline
+  execution with store writes), ``--cache``/``--cache-dir`` (result reuse
+  across pairs and runs), ``--resume`` (skip pairs already in the JSONL
+  result store), ``--shard i/n`` (run one deterministic partition of the
+  manifest), ``--progress`` (a progress line per N finished pairs) and
+  ``--events`` (JSONL lifecycle-event log);
+* ``repro merge`` — union the result stores of shard runs into one store,
+  byte-identical to an unsharded run of the same manifest.
 
 Matching commands accept ``--no-quantum`` (forbid the simulated quantum
 matchers) and ``--budget N`` (hard oracle query budget).  Circuit files may
@@ -48,8 +53,13 @@ from repro.core import (
 )
 from repro.core.decision import decide
 from repro.exceptions import ReproError
-from repro.service.executor import ParallelExecutor, SerialExecutor
-from repro.service.pipeline import MatchingService
+from repro.service.events import EventLogObserver, ProgressObserver
+from repro.service.executor import (
+    OverlapExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+)
+from repro.service.pipeline import MatchingService, merge_stores, parse_shard
 from repro.service.workload import (
     DEFAULT_FAMILIES,
     MANIFEST_NAME,
@@ -260,6 +270,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         executor = ParallelExecutor(workers=args.workers)
     else:
         executor = SerialExecutor()
+    if args.overlap:
+        executor = OverlapExecutor(executor)
+    shard = parse_shard(args.shard) if args.shard is not None else None
+    observers = []
+    event_log = None
+    if args.progress is not None:
+        if args.progress <= 0:
+            raise ReproError(
+                f"--progress cadence must be positive, got {args.progress}"
+            )
+        observers.append(ProgressObserver(every=args.progress))
+    if args.events is not None:
+        event_log = EventLogObserver(args.events)
+        observers.append(event_log)
     service = MatchingService(
         MatchingConfig(
             epsilon=args.epsilon,
@@ -270,19 +294,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
         executor=executor,
         cache=cache,
         verify=args.verify,
+        observers=observers,
     )
-    report = service.run_manifest(
-        args.manifest,
-        store_path=args.store,
-        resume=args.resume,
-        seed=args.seed,
-    )
+    try:
+        report = service.run_manifest(
+            args.manifest,
+            store_path=args.store,
+            resume=args.resume,
+            seed=args.seed,
+            shard=shard,
+        )
+    finally:
+        if event_log is not None:
+            event_log.close()
     print(report.to_table(title=f"service run of {report.total} pairs"))
     print()
     print(report.summary())
     if args.store:
         print(f"store: {args.store}")
     return 0 if report.failed == 0 else 1
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    count = merge_stores(args.output, args.stores)
+    print(
+        f"merged {count} records from {len(args.stores)} "
+        f"store{'s' if len(args.stores) != 1 else ''} into {args.output}"
+    )
+    return 0
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
@@ -418,12 +457,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size (1 = serial, the default)",
     )
     runner.add_argument(
+        "--overlap", action="store_true",
+        help="pipeline execution with store writes on a background thread",
+    )
+    runner.add_argument(
         "--store", metavar="PATH",
         help="JSONL result store to stream records to (required for --resume)",
     )
     runner.add_argument(
         "--resume", action="store_true",
         help="skip pairs already present in the store",
+    )
+    runner.add_argument(
+        "--shard", metavar="I/N",
+        help="run only the pairs of shard I of N (deterministic partition "
+        "by pair id; union the shard stores with 'repro merge')",
+    )
+    runner.add_argument(
+        "--progress", type=int, nargs="?", const=1, default=None, metavar="N",
+        help="print a progress line every N finished pairs "
+        "(default quiet; bare --progress means every pair)",
+    )
+    runner.add_argument(
+        "--events", metavar="PATH",
+        help="append every lifecycle event to a JSONL log file",
     )
     runner.add_argument(
         "--no-cache", action="store_true",
@@ -452,6 +509,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_engine_arguments(runner)
     runner.set_defaults(handler=_cmd_run)
+
+    merger = subparsers.add_parser(
+        "merge",
+        help="union shard result stores into one",
+        description=(
+            "Merges the JSONL result stores written by sharded 'repro run "
+            "--shard i/n' invocations (or by resumed runs) into a single "
+            "store ordered by manifest index — byte-identical to the store "
+            "an unsharded serial run of the same manifest would have "
+            "written.  Also normalises a single completion-ordered store "
+            "from a --workers N run."
+        ),
+    )
+    merger.add_argument(
+        "stores", nargs="+", help="input JSONL result stores (one per shard)"
+    )
+    merger.add_argument(
+        "--output", "-o", required=True, metavar="PATH",
+        help="merged JSONL store to write (overwritten)",
+    )
+    merger.set_defaults(handler=_cmd_merge)
 
     decider = subparsers.add_parser("decide", help="non-promise decision")
     add_matching_arguments(decider)

@@ -476,6 +476,7 @@ class MatchingEngine:
         rng: _random.Random | int | None = None,
         stop_on_error: bool = False,
         result_cache=None,
+        on_entry=None,
     ) -> BatchReport:
         """Match a batch of circuit pairs and aggregate query statistics.
 
@@ -496,6 +497,11 @@ class MatchingEngine:
                 :class:`repro.service.cache.EngineCacheAdapter`).  A hit
                 skips dispatch entirely: no oracles are built and no
                 queries are spent; the entry is flagged ``cached``.
+            on_entry: optional per-entry callback, invoked with each
+                :class:`BatchEntry` (matched, failed or cached alike) the
+                moment it is settled, so a caller sees results while
+                later pairs are still matching — the core-layer streaming
+                hook for progress reporting over large batches.
 
         Returns:
             A :class:`BatchReport` with one :class:`BatchEntry` per pair
@@ -510,6 +516,12 @@ class MatchingEngine:
             equivalence = EquivalenceType.from_label(equivalence)
         cache: dict = {}
         entries: list[BatchEntry] = []
+
+        def settle(entry: BatchEntry) -> None:
+            entries.append(entry)
+            if on_entry is not None:
+                on_entry(entry)
+
         for index, pair in enumerate(pairs):
             if len(pair) == 3:
                 circuit1, circuit2, pair_equivalence = pair
@@ -534,7 +546,7 @@ class MatchingEngine:
                 )
                 if hit is not None:
                     cached_result, cached_matcher = hit
-                    entries.append(
+                    settle(
                         BatchEntry(
                             index=index,
                             equivalence=pair_equivalence,
@@ -554,7 +566,7 @@ class MatchingEngine:
             except ReproError as error:
                 if stop_on_error:
                     raise
-                entries.append(
+                settle(
                     BatchEntry(
                         index=index,
                         equivalence=pair_equivalence,
@@ -573,7 +585,7 @@ class MatchingEngine:
                         result,
                         matcher_name,
                     )
-                entries.append(
+                settle(
                     BatchEntry(
                         index=index,
                         equivalence=pair_equivalence,

@@ -1,7 +1,8 @@
 """The matching service layer: throughput on top of the matching engine.
 
 :mod:`repro.core` answers "are these two circuits X-Y equivalent?" for one
-pair; this package turns that into a pipeline that answers it for corpora:
+pair; this package turns that into a streaming pipeline that answers it
+for corpora:
 
 * :mod:`repro.service.fingerprint` — canonical oracle fingerprints, the
   stable cache keys (truth-table digests up to a width limit, structural
@@ -9,20 +10,28 @@ pair; this package turns that into a pipeline that answers it for corpora:
 * :mod:`repro.service.cache` — LRU in-memory and on-disk result caches
   plus :class:`EngineCacheAdapter`, the bridge into
   :meth:`MatchingEngine.match_many`'s ``result_cache`` hook.
-* :mod:`repro.service.executor` — pluggable serial/process-pool execution
-  backends with deterministic per-pair seeding (parallel == serial,
-  byte for byte).
+* :mod:`repro.service.executor` — pluggable execution backends exposing
+  the as-completed :meth:`Executor.stream` contract with deterministic
+  per-pair seeding (serial / process-pool parallel / overlap, all
+  byte-identical per task).
+* :mod:`repro.service.events` — the typed lifecycle events a run streams
+  (``RunStarted`` ... ``RunCompleted``) and the pluggable ``Observer``
+  protocol with progress / JSONL-log / stats implementations.
 * :mod:`repro.service.workload` — corpus generation across the 16
   equivalence classes (random, library and adversarial near-miss
   families) with a JSON manifest format.
-* :mod:`repro.service.pipeline` — :class:`MatchingService`, wiring cache
-  + executor + engine, streaming JSONL records and resuming interrupted
-  runs.
+* :mod:`repro.service.pipeline` — :class:`MatchingService`, whose
+  :meth:`~MatchingService.stream` generator is the primitive (cache +
+  executor + engine + JSONL store as an event stream), with
+  ``run_manifest``/``match_pairs`` as thin consumers; shard-aware runs
+  (:func:`shard_index`) and :func:`merge_stores` to union shard stores.
 * :mod:`repro.service.serialize` — the JSON form of matching results
   shared by cache, store and executor.
 
-The CLI surfaces this as ``repro corpus`` (generate) and ``repro run``
-(execute, with ``--workers``, ``--cache`` and ``--resume``).
+The CLI surfaces this as ``repro corpus`` (generate), ``repro run``
+(execute, with ``--workers``, ``--overlap``, ``--cache-dir``,
+``--resume``, ``--shard i/n``, ``--progress`` and ``--events``) and
+``repro merge`` (union shard stores).
 """
 
 from __future__ import annotations
@@ -36,8 +45,23 @@ from repro.service.cache import (
     TieredCache,
     build_cache,
 )
+from repro.service.events import (
+    CacheHit,
+    EventLogObserver,
+    Observer,
+    ProgressObserver,
+    RunCompleted,
+    RunStarted,
+    ServiceEvent,
+    StatsObserver,
+    StoreFlushed,
+    TaskCompleted,
+    TaskFailed,
+    TaskStarted,
+)
 from repro.service.executor import (
     Executor,
+    OverlapExecutor,
     PairTask,
     ParallelExecutor,
     SerialExecutor,
@@ -51,7 +75,14 @@ from repro.service.fingerprint import (
     fingerprint,
     pair_key,
 )
-from repro.service.pipeline import MatchingService, ResultStore, ServiceReport
+from repro.service.pipeline import (
+    MatchingService,
+    ResultStore,
+    ServiceReport,
+    merge_stores,
+    parse_shard,
+    shard_index,
+)
 from repro.service.serialize import result_from_dict, result_to_dict
 from repro.service.workload import (
     DEFAULT_FAMILIES,
@@ -77,10 +108,24 @@ __all__ = [
     "TieredCache",
     "build_cache",
     "EngineCacheAdapter",
+    # events
+    "ServiceEvent",
+    "RunStarted",
+    "TaskStarted",
+    "CacheHit",
+    "TaskCompleted",
+    "TaskFailed",
+    "StoreFlushed",
+    "RunCompleted",
+    "Observer",
+    "ProgressObserver",
+    "EventLogObserver",
+    "StatsObserver",
     # executor
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "OverlapExecutor",
     "PairTask",
     "TaskOutcome",
     "derive_seed",
@@ -95,6 +140,9 @@ __all__ = [
     "MatchingService",
     "ResultStore",
     "ServiceReport",
+    "parse_shard",
+    "shard_index",
+    "merge_stores",
     # serialize
     "result_to_dict",
     "result_from_dict",

@@ -135,9 +135,10 @@ class DiskCache(ResultCache):
     Filenames are the SHA-256 of the key, so arbitrary key strings are
     safe; the full key is stored inside the record and checked on read, so
     a (cosmically unlikely) filename collision degrades to a miss rather
-    than a wrong result.  Writes go through a temp file + ``os.replace`` so
-    a crash mid-write leaves no torn record, and an unreadable or corrupt
-    file reads as a miss.
+    than a wrong result.  Writes go through a per-process temp file +
+    ``os.replace`` so a crash mid-write leaves no torn record, two shard
+    runs sharing a cache directory never clobber each other's in-flight
+    writes, and an unreadable or corrupt file reads as a miss.
     """
 
     def __init__(self, directory: str | os.PathLike) -> None:
@@ -168,7 +169,7 @@ class DiskCache(ResultCache):
 
     def _put(self, key: str, record: dict) -> None:
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump({"key": key, "record": record}, handle)
         os.replace(tmp, path)

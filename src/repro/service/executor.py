@@ -1,23 +1,34 @@
-"""Execution backends: shard a batch of pair tasks over workers.
+"""Execution backends: stream pair tasks through workers, as completed.
 
-Executors take a sequence of :class:`PairTask` and a
-:class:`~repro.core.engine.MatchingConfig` and return one
-:class:`TaskOutcome` per task, in task order.  Two invariants make the
+Executors take an iterable of :class:`PairTask` and a
+:class:`~repro.core.engine.MatchingConfig` and yield one
+:class:`TaskOutcome` per task from :meth:`Executor.stream` in
+*as-completed* order — the streaming contract the service pipeline
+consumes so store writes and observer notifications overlap execution
+instead of waiting for the whole batch.  Two invariants make the
 backends interchangeable:
 
 * **Determinism** — each task carries its own RNG seed, derived from the
   run seed and the task index by :func:`derive_seed` (a SHA-256 mix, so
   nearby indices get unrelated streams).  No state is shared between
   tasks, so executing them serially, in shuffled order, or on four
-  processes yields byte-identical outcomes.
+  processes yields identical per-task outcomes; only the *arrival order*
+  of the stream may differ between backends.
 * **Serialised results** — outcomes carry results as JSON dicts (the
   :mod:`repro.service.serialize` format) rather than live objects, so
-  crossing a process boundary is not observable downstream.
+  crossing a process or thread boundary is not observable downstream.
 
-:class:`SerialExecutor` runs in-process; :class:`ParallelExecutor` shards
-the batch into contiguous chunks over a ``ProcessPoolExecutor`` (fork
-start method where the platform offers it — the matcher registry is
-populated at import time and forked workers inherit it for free).
+:class:`SerialExecutor` runs in-process and consumes its task iterable
+lazily (task in, outcome out, one at a time); :class:`ParallelExecutor`
+shards the batch into contiguous chunks over a ``ProcessPoolExecutor``
+(fork start method where the platform offers it — the matcher registry is
+populated at import time and forked workers inherit it for free) and
+yields chunks as they finish; :class:`OverlapExecutor` runs any inner
+executor on a background thread behind a bounded queue, so a consumer
+doing I/O (JSONL store appends) overlaps with oracle execution.
+
+The pre-streaming batch API, :meth:`Executor.execute`, survives as a
+deprecated wrapper that drains the stream and sorts by task index.
 """
 
 from __future__ import annotations
@@ -25,9 +36,12 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
+import queue as _queue
+import threading
+import warnings
 from abc import ABC, abstractmethod
-from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
+from collections.abc import Iterable, Iterator
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 
 from repro.core.engine import MatchingConfig, MatchingEngine
@@ -40,6 +54,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "OverlapExecutor",
 ]
 
 
@@ -48,7 +63,8 @@ class PairTask:
     """One pair to match, self-contained and picklable.
 
     Attributes:
-        index: position in the batch (outcomes are returned in this order).
+        index: position in the batch (stable across backends; streams may
+            deliver outcomes out of index order).
         circuit1, circuit2: the pair — circuits or permutations (picklable;
             live oracles are not shipped across processes).
         equivalence: the promised class, as its "X-Y" label.
@@ -124,39 +140,69 @@ def _execute_task(engine: MatchingEngine, task: PairTask) -> TaskOutcome:
 
 
 def _execute_chunk(
-    tasks: Sequence[PairTask], config: MatchingConfig
+    tasks: list[PairTask], config: MatchingConfig
 ) -> list[TaskOutcome]:
-    """Worker entry point: one engine per chunk, tasks in order."""
+    """Process-pool worker entry point: one engine per chunk, tasks in order."""
     engine = MatchingEngine(config)
     return [_execute_task(engine, task) for task in tasks]
 
 
 class Executor(ABC):
-    """Strategy interface for running a batch of pair tasks."""
+    """Strategy interface for running a stream of pair tasks."""
 
     #: Human-readable backend name for reports.
     name: str = "executor"
 
     @abstractmethod
+    def stream(
+        self, tasks: Iterable[PairTask], config: MatchingConfig
+    ) -> Iterator[TaskOutcome]:
+        """Yield one outcome per task, as completed.
+
+        Arrival order is backend-specific (serial backends preserve task
+        order; pooled backends yield whichever chunk finishes first); the
+        per-task outcomes themselves are deterministic either way because
+        every task carries its own seed.
+        """
+
     def execute(
-        self, tasks: Sequence[PairTask], config: MatchingConfig
+        self, tasks: Iterable[PairTask], config: MatchingConfig
     ) -> list[TaskOutcome]:
-        """Run every task under ``config``; outcomes sorted by task index."""
+        """Deprecated batch form: drain :meth:`stream`, sort by task index.
+
+        .. deprecated::
+            Iterate :meth:`stream` instead; the list form buffers the
+            whole run and cannot overlap downstream work with execution.
+        """
+        warnings.warn(
+            f"{type(self).__name__}.execute() is deprecated; iterate "
+            f"{type(self).__name__}.stream() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return sorted(self.stream(tasks, config), key=lambda outcome: outcome.index)
 
 
 class SerialExecutor(Executor):
-    """Run tasks one after another in the calling process."""
+    """Run tasks one after another in the calling process.
+
+    The task iterable is consumed lazily: each task is pulled, executed
+    and its outcome yielded before the next task is even looked at, so a
+    generator of tasks interleaves perfectly with the outcome stream.
+    """
 
     name = "serial"
 
-    def execute(
-        self, tasks: Sequence[PairTask], config: MatchingConfig
-    ) -> list[TaskOutcome]:
-        return _execute_chunk(tasks, config)
+    def stream(
+        self, tasks: Iterable[PairTask], config: MatchingConfig
+    ) -> Iterator[TaskOutcome]:
+        engine = MatchingEngine(config)
+        for task in tasks:
+            yield _execute_task(engine, task)
 
 
 class ParallelExecutor(Executor):
-    """Shard tasks into chunks across a process pool.
+    """Shard tasks into chunks across a process pool, yield as completed.
 
     Args:
         workers: pool size; defaults to the CPU count.
@@ -180,11 +226,13 @@ class ParallelExecutor(Executor):
         """The configured pool size."""
         return self._workers
 
-    def execute(
-        self, tasks: Sequence[PairTask], config: MatchingConfig
-    ) -> list[TaskOutcome]:
+    def stream(
+        self, tasks: Iterable[PairTask], config: MatchingConfig
+    ) -> Iterator[TaskOutcome]:
+        tasks = list(tasks)
         if self._workers == 1 or len(tasks) <= 1:
-            return _execute_chunk(tasks, config)
+            yield from _execute_chunk(tasks, config)
+            return
         chunk_size = self._chunk_size
         if chunk_size is None:
             chunk_size = max(1, -(-len(tasks) // (4 * self._workers)))
@@ -196,12 +244,89 @@ class ParallelExecutor(Executor):
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
-        outcomes: list[TaskOutcome] = []
         with ProcessPoolExecutor(
             max_workers=min(self._workers, len(chunks)), mp_context=context
         ) as pool:
             futures = [pool.submit(_execute_chunk, chunk, config) for chunk in chunks]
-            for future in futures:
-                outcomes.extend(future.result())
-        outcomes.sort(key=lambda outcome: outcome.index)
-        return outcomes
+            for future in as_completed(futures):
+                yield from future.result()
+
+
+#: Queue sentinel marking the end of an overlap stream.
+_DONE = object()
+
+
+class OverlapExecutor(Executor):
+    """Pipeline an inner executor with the consumer over a bounded queue.
+
+    A background thread drains ``inner.stream`` into a queue while the
+    caller consumes outcomes from this stream — so the consumer's blocking
+    work (JSONL store appends, observer I/O) overlaps with oracle
+    execution instead of alternating with it.  The queue is bounded, so a
+    slow consumer back-pressures the producer instead of buffering the
+    whole run.
+
+    Outcome order is exactly the inner executor's order; an exception on
+    the producer side (not a matcher failure, which is an outcome — a
+    genuinely broken task) is re-raised in the consumer.
+
+    Args:
+        inner: the executor doing the actual matching; defaults to a
+            :class:`SerialExecutor`.
+        buffer_size: maximum outcomes in flight between the threads.
+    """
+
+    def __init__(self, inner: Executor | None = None, buffer_size: int = 64) -> None:
+        if buffer_size <= 0:
+            raise ValueError(f"buffer size must be positive, got {buffer_size}")
+        self._inner = inner if inner is not None else SerialExecutor()
+        self._buffer_size = buffer_size
+        self.name = f"overlap[{self._inner.name}]"
+
+    @property
+    def inner(self) -> Executor:
+        """The wrapped executor."""
+        return self._inner
+
+    def stream(
+        self, tasks: Iterable[PairTask], config: MatchingConfig
+    ) -> Iterator[TaskOutcome]:
+        outcomes: _queue.Queue = _queue.Queue(maxsize=self._buffer_size)
+        cancelled = threading.Event()
+        failure: list[BaseException] = []
+
+        def produce() -> None:
+            try:
+                for outcome in self._inner.stream(tasks, config):
+                    outcomes.put(outcome)
+                    if cancelled.is_set():
+                        break
+            except BaseException as error:  # noqa: BLE001 - re-raised in consumer
+                failure.append(error)
+            finally:
+                outcomes.put(_DONE)
+
+        producer = threading.Thread(
+            target=produce, name="repro-overlap-producer", daemon=True
+        )
+        producer.start()
+        finished = False
+        try:
+            while True:
+                outcome = outcomes.get()
+                if outcome is _DONE:
+                    finished = True
+                    break
+                yield outcome
+        finally:
+            # A consumer that abandons the stream early (break, observer
+            # exception, GeneratorExit) leaves the producer blocked on a
+            # full queue; cancel it and drain to the sentinel so join()
+            # cannot deadlock.  At most one more outcome is computed.
+            cancelled.set()
+            while not finished:
+                if outcomes.get() is _DONE:
+                    finished = True
+            producer.join()
+        if failure:
+            raise failure[0]

@@ -1,23 +1,40 @@
 """The :class:`MatchingService` — cache + executor + engine as a pipeline.
 
-The service is the production front door the ROADMAP asks for: it takes a
-corpus manifest (or in-memory pairs), skips whatever a previous run
-already answered (resume via the JSONL result store), answers whatever an
-earlier batch or run already answered (the result cache, consulted
-*before* any oracle is built — a warm-cache run performs zero oracle
-queries; lookups happen up front, so duplicates *within* one cold batch
-still each execute), shards the remainder over an execution backend, and
-streams one JSON record per pair to the store.  Records are JSON dicts end to end — the executor, the
-cache and the store all speak :mod:`repro.service.serialize` — so a
-serial run, a 4-worker run and a cache replay of the same manifest write
-interchangeable stores.
+The service is the production front door the ROADMAP asks for, and its
+primitive is **streaming**: :meth:`MatchingService.stream` is a generator
+of typed :mod:`repro.service.events` — it takes a corpus manifest (or
+in-memory pairs), skips whatever a previous run already answered (resume
+via the JSONL result store), answers whatever an earlier batch or run
+already answered (the result cache, consulted *before* any oracle is
+built — a warm-cache run performs zero oracle queries), hands the
+remainder to an execution backend's as-completed stream, and appends one
+JSON record per pair to the store the moment the pair finishes.
+:meth:`~MatchingService.run_manifest` and :meth:`~MatchingService.match_pairs`
+are thin consumers of that stream that forward events to registered
+:class:`~repro.service.events.Observer`\\ s and return the final
+:class:`ServiceReport`.
+
+Runs shard: ``shard=(i, n)`` deterministically keeps the pairs whose id
+hashes to bucket ``i`` of ``n`` (:func:`shard_index`), with per-pair
+seeds still derived from the *manifest* position — so the union of the
+``n`` shard stores (:func:`merge_stores`) is byte-identical to the store
+of one unsharded run.
+
+Records are JSON dicts end to end — the executor, the cache and the
+store all speak :mod:`repro.service.serialize` — so a serial run, a
+4-worker run, an overlap run and a cache replay of the same manifest
+write interchangeable stores.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import time
-from collections.abc import Iterable, Sequence
+import warnings
+from collections import deque
+from collections.abc import Iterable, Iterator, Sequence
 from pathlib import Path
 
 from repro.analysis.report import format_table
@@ -27,6 +44,17 @@ from repro.core.verify import verify_match
 from repro.exceptions import FingerprintError, ServiceError
 from repro.service import serialize
 from repro.service.cache import ResultCache
+from repro.service.events import (
+    CacheHit,
+    Observer,
+    RunCompleted,
+    RunStarted,
+    ServiceEvent,
+    StoreFlushed,
+    TaskCompleted,
+    TaskFailed,
+    TaskStarted,
+)
 from repro.service.executor import (
     Executor,
     PairTask,
@@ -40,15 +68,23 @@ from repro.service.workload import (
     load_entry_circuits,
 )
 
-__all__ = ["ResultStore", "ServiceReport", "MatchingService"]
+__all__ = [
+    "ResultStore",
+    "ServiceReport",
+    "MatchingService",
+    "parse_shard",
+    "shard_index",
+    "merge_stores",
+]
 
 
 class ResultStore:
     """Append-only JSONL store of per-pair run records, keyed by pair id.
 
     One JSON object per line; :meth:`load` tolerates a torn final line (a
-    crash mid-append) by skipping anything that does not parse, which is
-    exactly what resume needs: the half-written pair is simply re-run.
+    crash mid-append) by skipping, with a warning, anything that does not
+    parse — which is exactly what resume needs: the half-written pair is
+    simply re-run.
     """
 
     def __init__(self, path: str | Path) -> None:
@@ -65,29 +101,142 @@ class ResultStore:
         return self._path.exists()
 
     def load(self) -> dict[str, dict]:
-        """Read all complete records, newest occurrence of each pair winning."""
+        """Read all complete records, newest occurrence of each pair winning.
+
+        Unparseable lines (a crash mid-append leaves at most one, at the
+        end) are skipped with a :class:`UserWarning` naming the line, so a
+        resume both survives the torn record and tells the operator it
+        happened.
+        """
         records: dict[str, dict] = {}
         if not self.exists:
             return records
         with open(self._path, "r", encoding="utf-8") as handle:
-            for line in handle:
+            for lineno, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
+                    warnings.warn(
+                        f"{self._path}:{lineno}: skipping truncated or "
+                        "malformed record (crash mid-append?); the pair "
+                        "will be re-run on resume",
+                        stacklevel=2,
+                    )
                     continue
                 pair_id = record.get("pair_id")
                 if isinstance(pair_id, str):
                     records[pair_id] = record
         return records
 
+    def touch(self) -> None:
+        """Materialise the (possibly empty) store file on disk.
+
+        Runs call this up front so a shard that owns zero pairs still
+        leaves a store behind — ``repro merge`` can then take one store
+        per shard without guessing which shards happened to be empty.
+        """
+        self._path.touch(exist_ok=True)
+
     def append(self, record: dict) -> None:
-        """Append one record and flush it to disk."""
-        with open(self._path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record) + "\n")
+        """Append one record and flush it to disk.
+
+        If a crash left the file without a trailing newline (a torn
+        record), a newline is inserted first — otherwise the new record
+        would concatenate onto the partial line and both would be lost.
+        """
+        with open(self._path, "a+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write((json.dumps(record) + "\n").encode("utf-8"))
             handle.flush()
+
+
+# ---------------------------------------------------------------------------
+# Sharding and merging
+# ---------------------------------------------------------------------------
+def parse_shard(spec: str) -> tuple[int, int]:
+    """Parse an ``"i/n"`` shard spec into a validated ``(index, count)``."""
+    index_text, _, count_text = spec.partition("/")
+    try:
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ServiceError(
+            f"shard must look like 'i/n' (e.g. 0/3), got {spec!r}"
+        ) from None
+    if count <= 0:
+        raise ServiceError(f"shard count must be positive, got {count}")
+    if not 0 <= index < count:
+        raise ServiceError(
+            f"shard index must be in [0, {count}), got {index}"
+        )
+    return index, count
+
+
+def shard_index(pair_id: str, count: int) -> int:
+    """The shard bucket of a pair id — a stable SHA-256 partition.
+
+    Hashing (rather than round-robin by position) keeps the partition
+    independent of manifest ordering and identical on every machine, so
+    ``n`` hosts can each run their shard of the same manifest with no
+    coordination beyond agreeing on ``n``.
+    """
+    if count <= 0:
+        raise ServiceError(f"shard count must be positive, got {count}")
+    digest = hashlib.sha256(pair_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % count
+
+
+def merge_stores(
+    output: str | Path, inputs: Sequence[str | Path]
+) -> int:
+    """Union shard result stores into one, ordered by manifest index.
+
+    Each input is read through :meth:`ResultStore.load` (newest record per
+    pair wins; torn lines are skipped with a warning), the union is sorted
+    by the records' manifest ``index``, and the result is written fresh to
+    ``output``.  Because shard runs keep manifest positions (and therefore
+    per-pair seeds), merging the ``n`` shard stores of a manifest
+    reproduces the unsharded *serial* run's store byte for byte — shard
+    stores written by a ``--workers N`` run are completion-ordered, but
+    the index sort makes the merged output identical either way.
+
+    Returns:
+        The number of records written.
+
+    Raises:
+        ServiceError: when an input store is missing or the inputs share a
+            pair id with conflicting records (overlapping, non-disjoint
+            shards).
+    """
+    merged: dict[str, dict] = {}
+    for path in inputs:
+        store = ResultStore(path)
+        if not store.exists:
+            raise ServiceError(f"{store.path}: result store does not exist")
+        for pair_id, record in store.load().items():
+            previous = merged.get(pair_id)
+            if previous is not None and previous != record:
+                raise ServiceError(
+                    f"pair {pair_id!r} has conflicting records across the "
+                    "input stores; shards of one run never overlap, so "
+                    "these stores do not belong to the same run"
+                )
+            merged[pair_id] = record
+    records = sorted(
+        merged.values(),
+        key=lambda record: (record.get("index", 0), record.get("pair_id", "")),
+    )
+    output = Path(output)
+    with open(output, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return len(records)
 
 
 class ServiceReport:
@@ -102,6 +251,7 @@ class ServiceReport:
             them.
         executed: how many pairs actually went through an executor.
         elapsed: wall-clock seconds for the run.
+        shard: the ``(index, count)`` shard this run covered, if any.
     """
 
     def __init__(
@@ -114,6 +264,7 @@ class ServiceReport:
         elapsed: float,
         executor: str,
         store_path: Path | None = None,
+        shard: tuple[int, int] | None = None,
     ) -> None:
         self.records = records
         self.resumed = resumed
@@ -122,11 +273,12 @@ class ServiceReport:
         self.elapsed = elapsed
         self.executor = executor
         self.store_path = store_path
+        self.shard = shard
 
     # -- aggregates ------------------------------------------------------------
     @property
     def total(self) -> int:
-        """Number of pairs the manifest listed."""
+        """Number of pairs this run accounted for."""
         return len(self.records)
 
     @property
@@ -194,8 +346,11 @@ class ServiceReport:
 
     def summary(self) -> str:
         """One-line aggregate with throughput."""
+        prefix = ""
+        if self.shard is not None:
+            prefix = f"shard {self.shard[0]}/{self.shard[1]}: "
         return (
-            f"{self.matched}/{self.total} matched ({self.failed} failed), "
+            f"{prefix}{self.matched}/{self.total} matched ({self.failed} failed), "
             f"{self.cache_hits} cached, {self.resumed} resumed, "
             f"{self.executed} executed via {self.executor} in "
             f"{self.elapsed:.2f}s ({self.pairs_per_second:.1f} pairs/s); "
@@ -220,7 +375,7 @@ class _Unit:
 
 
 class MatchingService:
-    """High-throughput, cached, resumable matching over corpora.
+    """High-throughput, cached, resumable, shard-aware matching over corpora.
 
     Args:
         config: the :class:`~repro.core.engine.MatchingConfig` policy every
@@ -233,6 +388,10 @@ class MatchingService:
             pairs (white-box, exponential in width — meant for corpora of
             small circuits, where it catches promise-violating
             near-misses; recorded as ``verified`` on the run record).
+        observers: :class:`~repro.service.events.Observer` objects notified
+            of every event by the consuming entry points
+            (:meth:`run_manifest` / :meth:`match_pairs`; the raw
+            :meth:`stream` generator leaves delivery to its caller).
     """
 
     def __init__(
@@ -242,11 +401,13 @@ class MatchingService:
         executor: Executor | None = None,
         cache: ResultCache | None = None,
         verify: bool = False,
+        observers: Sequence[Observer] = (),
     ) -> None:
         self._config = config if config is not None else MatchingConfig()
         self._executor = executor if executor is not None else SerialExecutor()
         self._cache = cache
         self._verify = verify
+        self._observers = tuple(observers)
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -263,6 +424,11 @@ class MatchingService:
     def cache(self) -> ResultCache | None:
         """The result cache, if any."""
         return self._cache
+
+    @property
+    def observers(self) -> tuple[Observer, ...]:
+        """The observers registered at construction."""
+        return self._observers
 
     # -- internal --------------------------------------------------------------
     def _cache_key(self, unit: _Unit) -> str | None:
@@ -286,19 +452,47 @@ class MatchingService:
         record.update(unit.meta)
         return record
 
-    def _run_units(
+    def _stream_units(
         self,
         units: list[_Unit],
         *,
         done: dict[str, dict],
         store: ResultStore | None,
         seed: int | None,
-    ) -> ServiceReport:
+        shard: tuple[int, int] | None = None,
+    ) -> Iterator[ServiceEvent]:
+        """The event-stream core every entry point is built on.
+
+        Phase one walks the units in manifest order, settling whatever the
+        result store (resume) or the result cache already answers — no
+        oracle is ever built for those.  Phase two feeds the remainder to
+        the executor as a lazy task stream and relays outcomes as they
+        complete, appending each record to the store the moment it exists
+        so an interrupt loses at most the pair in flight.
+        """
         start = time.perf_counter()
-        records: list[dict | None] = [None] * len(units)
+        store_path = str(store.path) if store is not None else None
+        if store is not None:
+            store.touch()
+        yield RunStarted(
+            total=len(units),
+            executor=self._executor.name,
+            store_path=store_path,
+            seed=seed,
+            shard=shard,
+        )
+
+        records: dict[int, dict] = {}
         resumed = 0
         cache_hits = 0
+        flushed = 0
         pending: list[_Unit] = []
+
+        def flush(record: dict) -> StoreFlushed:
+            nonlocal flushed
+            store.append(record)
+            flushed += 1
+            return StoreFlushed(path=store_path, records_written=flushed)
 
         for unit in units:
             if unit.pair_id is not None and unit.pair_id in done:
@@ -309,6 +503,12 @@ class MatchingService:
                 record["status"] = "resumed"
                 records[unit.position] = record
                 resumed += 1
+                yield CacheHit(
+                    index=unit.position,
+                    pair_id=unit.pair_id,
+                    source="store",
+                    record=record,
+                )
                 continue
             unit.key = self._cache_key(unit)
             if unit.key is not None:
@@ -323,29 +523,50 @@ class MatchingService:
                     )
                     records[unit.position] = record
                     cache_hits += 1
-                    if store is not None:
-                        store.append(record)
+                    # Persist before yielding: a consumer that stops at
+                    # this event must still find the record in the store.
+                    flushed_event = flush(record) if store is not None else None
+                    yield CacheHit(
+                        index=unit.position,
+                        pair_id=unit.pair_id,
+                        source="cache",
+                        record=record,
+                    )
+                    if flushed_event is not None:
+                        yield flushed_event
                     continue
             pending.append(unit)
 
-        tasks = [
-            PairTask(
-                index=unit.position,
-                circuit1=unit.circuit1,
-                circuit2=unit.circuit2,
-                equivalence=unit.label,
-                seed=derive_seed(seed, unit.position),
-                pair_id=unit.pair_id,
-            )
-            for unit in pending
-        ]
-        outcomes = {
-            outcome.index: outcome
-            for outcome in self._executor.execute(tasks, self._config)
-        }
+        by_position = {unit.position: unit for unit in pending}
+        # TaskStarted events are minted as the executor *pulls* tasks (a
+        # serial backend pulls one at a time, pooled backends pull ahead)
+        # and relayed before the outcome they precede; a deque because the
+        # overlap executor pulls from a producer thread.
+        submitted: deque[TaskStarted] = deque()
 
-        for unit in pending:
-            outcome = outcomes[unit.position]
+        def tasks() -> Iterator[PairTask]:
+            for unit in pending:
+                submitted.append(
+                    TaskStarted(
+                        index=unit.position,
+                        pair_id=unit.pair_id,
+                        equivalence=unit.label,
+                    )
+                )
+                yield PairTask(
+                    index=unit.position,
+                    circuit1=unit.circuit1,
+                    circuit2=unit.circuit2,
+                    equivalence=unit.label,
+                    seed=derive_seed(seed, unit.position),
+                    pair_id=unit.pair_id,
+                )
+
+        executed = 0
+        for outcome in self._executor.stream(tasks(), self._config):
+            while submitted:
+                yield submitted.popleft()
+            unit = by_position[outcome.index]
             record = self._base_record(unit)
             record.update(
                 status="ok" if outcome.matched else "failed",
@@ -373,62 +594,62 @@ class MatchingService:
                         "result": outcome.result,
                     },
                 )
-            records[unit.position] = record
-            if store is not None:
-                store.append(record)
+            records[outcome.index] = record
+            executed += 1
+            # Persist before yielding the completion event, so stopping
+            # the stream at any event never loses an already-seen pair.
+            flushed_event = flush(record) if store is not None else None
+            event_type = TaskCompleted if outcome.matched else TaskFailed
+            yield event_type(
+                index=outcome.index, pair_id=outcome.pair_id, record=record
+            )
+            if flushed_event is not None:
+                yield flushed_event
+        while submitted:  # pragma: no cover - an executor that over-pulls
+            yield submitted.popleft()
 
-        return ServiceReport(
-            records=[record for record in records if record is not None],
+        report = ServiceReport(
+            records=[records[position] for position in sorted(records)],
             resumed=resumed,
             cache_hits=cache_hits,
-            executed=len(pending),
+            executed=executed,
             elapsed=time.perf_counter() - start,
             executor=self._executor.name,
             store_path=store.path if store is not None else None,
+            shard=shard,
         )
+        yield RunCompleted(report=report)
 
-    # -- entry points ----------------------------------------------------------
-    def run_manifest(
+    def _consume(
         self,
-        manifest: CorpusManifest | str | Path,
-        *,
-        root: str | Path | None = None,
-        store_path: str | Path | None = None,
-        resume: bool = False,
-        seed: int | None = None,
+        events: Iterator[ServiceEvent],
+        observers: Sequence[Observer] | None,
     ) -> ServiceReport:
-        """Execute a corpus manifest through cache, store and executor.
+        """Drain an event stream into observers; return the final report."""
+        watchers = self._observers + tuple(observers or ())
+        report: ServiceReport | None = None
+        for event in events:
+            for observer in watchers:
+                observer.notify(event)
+            if isinstance(event, RunCompleted):
+                report = event.report
+        if report is None:  # pragma: no cover - stream() always completes
+            raise ServiceError("event stream ended without a RunCompleted")
+        return report
 
-        Args:
-            manifest: a loaded :class:`CorpusManifest` or a path to one
-                (a directory is taken to contain ``manifest.json``).
-            root: directory circuit paths are relative to; defaults to the
-                manifest's directory when a path was given, else the
-                current directory.
-            store_path: JSONL result store to stream records to.
-            resume: skip pairs whose ids the store already holds (requires
-                ``store_path``).
-            seed: run seed; per-pair seeds derive from it and the pair's
-                manifest position, so a resumed run re-executes a pair
-                with exactly the seed the interrupted run would have used.
-        """
-        if isinstance(manifest, (str, Path)):
-            path = Path(manifest)
-            if path.is_dir():
-                path = path / MANIFEST_NAME
-            if root is None:
-                root = path.parent
-            manifest = CorpusManifest.load(path)
-        if root is None:
-            root = Path(".")
-        if resume and store_path is None:
-            raise ServiceError("resume requires a result store path")
-
-        store = ResultStore(store_path) if store_path is not None else None
-        done = store.load() if (resume and store is not None) else {}
-
+    def _manifest_units(
+        self,
+        manifest: CorpusManifest,
+        root: str | Path,
+        done: dict[str, dict],
+        shard: tuple[int, int] | None,
+    ) -> list[_Unit]:
         units = []
         for position, entry in enumerate(manifest.entries):
+            if shard is not None and shard_index(entry.pair_id, shard[1]) != shard[0]:
+                # Not this shard's pair.  Positions keep counting, so the
+                # surviving units' seeds match the unsharded run's.
+                continue
             if entry.pair_id in done:
                 # Circuits of already-answered pairs are never even loaded.
                 circuit1 = circuit2 = None
@@ -447,7 +668,100 @@ class MatchingService:
                     },
                 )
             )
-        return self._run_units(units, done=done, store=store, seed=seed)
+        return units
+
+    # -- entry points ----------------------------------------------------------
+    def stream(
+        self,
+        manifest: CorpusManifest | str | Path,
+        *,
+        root: str | Path | None = None,
+        store_path: str | Path | None = None,
+        resume: bool = False,
+        seed: int | None = None,
+        shard: tuple[int, int] | str | None = None,
+    ) -> Iterator[ServiceEvent]:
+        """Execute a corpus manifest as a stream of lifecycle events.
+
+        The primitive behind :meth:`run_manifest`: a generator yielding
+        :class:`~repro.service.events.RunStarted` first,
+        :class:`~repro.service.events.RunCompleted` (carrying the
+        :class:`ServiceReport`) last, and per-pair events in between, in
+        the executor's as-completed order.  Store records are appended as
+        their events are yielded, so a consumer that stops early keeps
+        everything already streamed.
+
+        Args:
+            manifest: a loaded :class:`CorpusManifest` or a path to one
+                (a directory is taken to contain ``manifest.json``).
+            root: directory circuit paths are relative to; defaults to the
+                manifest's directory when a path was given, else the
+                current directory.
+            store_path: JSONL result store to stream records to.
+            resume: skip pairs whose ids the store already holds (requires
+                ``store_path``).
+            seed: run seed; per-pair seeds derive from it and the pair's
+                manifest position, so a resumed run, a shard run and an
+                unsharded run all execute a given pair with the same seed.
+            shard: ``(index, count)`` or an ``"i/n"`` spec restricting the
+                run to the pairs :func:`shard_index` assigns to bucket
+                ``index``; merge the shard stores with
+                :func:`merge_stores`.
+        """
+        if isinstance(manifest, (str, Path)):
+            path = Path(manifest)
+            if path.is_dir():
+                path = path / MANIFEST_NAME
+            if root is None:
+                root = path.parent
+            manifest = CorpusManifest.load(path)
+        if root is None:
+            root = Path(".")
+        if resume and store_path is None:
+            raise ServiceError("resume requires a result store path")
+        if isinstance(shard, str):
+            shard = parse_shard(shard)
+        elif shard is not None:
+            index, count = shard
+            if count <= 0 or not 0 <= index < count:
+                raise ServiceError(f"invalid shard {index}/{count}")
+
+        store = ResultStore(store_path) if store_path is not None else None
+        done = store.load() if (resume and store is not None) else {}
+        units = self._manifest_units(manifest, root, done, shard)
+        return self._stream_units(
+            units, done=done, store=store, seed=seed, shard=shard
+        )
+
+    def run_manifest(
+        self,
+        manifest: CorpusManifest | str | Path,
+        *,
+        root: str | Path | None = None,
+        store_path: str | Path | None = None,
+        resume: bool = False,
+        seed: int | None = None,
+        shard: tuple[int, int] | str | None = None,
+        observers: Sequence[Observer] | None = None,
+    ) -> ServiceReport:
+        """Execute a corpus manifest and return the final report.
+
+        A thin consumer of :meth:`stream` (same arguments): every event is
+        forwarded to the service's observers plus any passed here, and the
+        :class:`ServiceReport` carried by the final
+        :class:`~repro.service.events.RunCompleted` is returned.
+        """
+        return self._consume(
+            self.stream(
+                manifest,
+                root=root,
+                store_path=store_path,
+                resume=resume,
+                seed=seed,
+                shard=shard,
+            ),
+            observers,
+        )
 
     def match_pairs(
         self,
@@ -455,14 +769,15 @@ class MatchingService:
         *,
         equivalence: EquivalenceType | str | None = None,
         seed: int | None = None,
+        observers: Sequence[Observer] | None = None,
     ) -> ServiceReport:
         """Run in-memory pairs (the :meth:`match_many` shape) as a pipeline.
 
         Accepts ``(circuit1, circuit2)`` or ``(circuit1, circuit2,
         equivalence)`` tuples exactly like
         :meth:`repro.core.engine.MatchingEngine.match_many`, but with the
-        service's cache and executor in the loop.  No store is involved —
-        use :meth:`run_manifest` for resumable runs.
+        service's cache, executor and observers in the loop.  No store is
+        involved — use :meth:`run_manifest` for resumable runs.
         """
         if isinstance(equivalence, EquivalenceType):
             equivalence = equivalence.label
@@ -488,4 +803,7 @@ class MatchingService:
             else:
                 label = EquivalenceType.from_label(label).label
             units.append(_Unit(position, None, circuit1, circuit2, label, {}))
-        return self._run_units(units, done={}, store=None, seed=seed)
+        return self._consume(
+            self._stream_units(units, done={}, store=None, seed=seed),
+            observers,
+        )

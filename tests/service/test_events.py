@@ -1,0 +1,169 @@
+"""Unit tests for the service event protocol and the stock observers.
+
+The contract under test: a run's event stream opens with ``RunStarted``,
+closes with ``RunCompleted``, brackets every executed pair between its
+``TaskStarted`` and its ``TaskCompleted``/``TaskFailed``, reports every
+store append as a ``StoreFlushed``, and marks pairs answered without
+execution as ``CacheHit`` (source ``"cache"`` or ``"store"``).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.service.cache import build_cache
+from repro.service.events import (
+    CacheHit,
+    EventLogObserver,
+    Observer,
+    ProgressObserver,
+    RunCompleted,
+    RunStarted,
+    StatsObserver,
+    StoreFlushed,
+    TaskCompleted,
+    TaskFailed,
+    TaskStarted,
+)
+from repro.service.pipeline import MatchingService
+from repro.service.workload import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """A small corpus: the tractable classes x 2 families (one adversarial)."""
+    root = tmp_path_factory.mktemp("events_corpus")
+    generate_corpus(
+        root,
+        num_lines=4,
+        classes=None,
+        families=("random", "adversarial"),
+        pairs_per_class=1,
+        seed=13,
+    )
+    return root
+
+
+class TestEventStreamShape:
+    def test_cold_run_event_ordering(self, corpus, tmp_path):
+        store = tmp_path / "results.jsonl"
+        events = list(
+            MatchingService().stream(corpus, store_path=store, seed=3)
+        )
+        assert isinstance(events[0], RunStarted)
+        assert isinstance(events[-1], RunCompleted)
+        total = events[0].total
+        assert events[0].executor == "serial"
+        assert events[0].store_path == str(store)
+
+        started = [e for e in events if isinstance(e, TaskStarted)]
+        finished = [e for e in events if isinstance(e, (TaskCompleted, TaskFailed))]
+        flushes = [e for e in events if isinstance(e, StoreFlushed)]
+        assert len(started) == len(finished) == len(flushes) == total
+        # Every pair's TaskStarted precedes its completion event.
+        positions = {
+            (type(e).__name__, getattr(e, "index", None)): i
+            for i, e in enumerate(events)
+            if isinstance(e, (TaskStarted, TaskCompleted, TaskFailed))
+        }
+        for event in finished:
+            assert (
+                positions[("TaskStarted", event.index)]
+                < positions[(type(event).__name__, event.index)]
+            )
+        # Flush counters are cumulative and end at the total.
+        assert [e.records_written for e in flushes] == list(range(1, total + 1))
+        assert events[-1].report.executed == total
+
+    def test_warm_run_yields_cache_hits_and_no_tasks(self, corpus):
+        service = MatchingService(cache=build_cache())
+        service.run_manifest(corpus, seed=3)
+        events = list(service.stream(corpus, seed=3))
+        hits = [e for e in events if isinstance(e, CacheHit)]
+        assert len(hits) == events[0].total
+        assert all(hit.source == "cache" for hit in hits)
+        assert not any(isinstance(e, (TaskStarted, TaskCompleted)) for e in events)
+
+    def test_resumed_pairs_surface_as_store_hits(self, corpus, tmp_path):
+        store = tmp_path / "results.jsonl"
+        MatchingService().run_manifest(corpus, store_path=store, seed=3)
+        events = list(
+            MatchingService().stream(corpus, store_path=store, resume=True, seed=3)
+        )
+        hits = [e for e in events if isinstance(e, CacheHit)]
+        assert len(hits) == events[0].total
+        assert all(hit.source == "store" for hit in hits)
+
+    def test_failures_surface_as_task_failed(self, corpus):
+        from repro.core.engine import MatchingConfig
+
+        events = list(
+            MatchingService(MatchingConfig(max_queries=1)).stream(corpus, seed=3)
+        )
+        failed = [e for e in events if isinstance(e, TaskFailed)]
+        assert failed
+        assert all("Error" in e.error for e in failed)
+
+    def test_events_serialise_to_json(self, corpus):
+        for event in MatchingService().stream(corpus, seed=3):
+            payload = json.loads(json.dumps(event.to_dict()))
+            assert payload["event"] == event.kind
+
+
+class TestStatsObserver:
+    def test_counts_a_cold_and_warm_run(self, corpus):
+        stats = StatsObserver()
+        service = MatchingService(cache=build_cache(), observers=[stats])
+        cold = service.run_manifest(corpus, seed=3)
+        assert stats.runs_started == stats.runs_completed == 1
+        assert stats.started == stats.completed + stats.failed == cold.total
+        assert stats.cache_hits == 0 and stats.store_flushes == 0
+        service.run_manifest(corpus, seed=3)
+        assert stats.runs_completed == 2
+        assert stats.cache_hits == cold.total
+        assert stats.started == cold.total  # warm run submitted nothing
+        assert stats.as_dict()["cache_hits"] == cold.total
+
+    def test_satisfies_the_observer_protocol(self):
+        assert isinstance(StatsObserver(), Observer)
+        assert isinstance(ProgressObserver(stream=io.StringIO()), Observer)
+
+
+class TestProgressObserver:
+    def test_line_per_n_pairs(self, corpus):
+        out = io.StringIO()
+        observer = ProgressObserver(stream=out, every=2)
+        report = MatchingService(observers=[observer]).run_manifest(corpus, seed=3)
+        lines = out.getvalue().splitlines()
+        assert lines[0].startswith(f"run started: {report.total} pairs")
+        assert lines[-1].startswith(f"run completed: {report.total}/{report.total}")
+        # One progress line per 2 finished pairs, between the banners.
+        assert len(lines) == 2 + report.total // 2
+        assert all("[" in line for line in lines[1:-1])
+
+    def test_rejects_nonpositive_cadence(self):
+        with pytest.raises(ValueError):
+            ProgressObserver(every=0)
+
+
+class TestEventLogObserver:
+    def test_writes_one_json_line_per_event(self, corpus, tmp_path):
+        log_path = tmp_path / "events.jsonl"
+        with EventLogObserver(log_path) as log:
+            MatchingService(observers=[log]).run_manifest(corpus, seed=3)
+        entries = [
+            json.loads(line) for line in log_path.read_text().splitlines()
+        ]
+        assert entries[0]["event"] == "RunStarted"
+        assert entries[-1]["event"] == "RunCompleted"
+        kinds = {entry["event"] for entry in entries}
+        assert {"TaskStarted"} <= kinds
+        assert entries[-1]["total"] == entries[0]["total"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        log = EventLogObserver(tmp_path / "events.jsonl")
+        log.close()
+        log.close()

@@ -1,10 +1,11 @@
 """Unit tests for the execution backends.
 
 The load-bearing property is the acceptance criterion of the service
-subsystem: a :class:`ParallelExecutor` with four workers produces
-byte-identical per-pair results to a :class:`SerialExecutor` for the same
-seed, because every task carries its own derived RNG seed and shares no
-state with its neighbours.
+subsystem: every backend — serial, four-process parallel, overlap —
+produces byte-identical per-task outcomes for the same seed, because
+every task carries its own derived RNG seed and shares no state with its
+neighbours; backends differ only in the arrival order of
+:meth:`Executor.stream`.
 """
 
 from __future__ import annotations
@@ -19,11 +20,24 @@ from repro.core.engine import MatchingConfig
 from repro.core.equivalence import EquivalenceType
 from repro.core.verify import make_instance
 from repro.service.executor import (
+    OverlapExecutor,
     PairTask,
     ParallelExecutor,
     SerialExecutor,
+    TaskOutcome,
     derive_seed,
 )
+
+
+def _canonical(outcomes) -> bytes:
+    """Outcomes as canonical JSON bytes, sorted by task index."""
+    return json.dumps(
+        sorted(
+            (dataclasses.asdict(outcome) for outcome in outcomes),
+            key=lambda outcome: outcome["index"],
+        ),
+        sort_keys=True,
+    ).encode("utf-8")
 
 
 @pytest.fixture
@@ -65,8 +79,8 @@ class TestDeriveSeed:
 
 
 class TestSerialExecutor:
-    def test_outcomes_in_order_with_errors_recorded(self, tasks):
-        outcomes = SerialExecutor().execute(tasks, MatchingConfig())
+    def test_stream_preserves_task_order_with_errors_recorded(self, tasks):
+        outcomes = list(SerialExecutor().stream(tasks, MatchingConfig()))
         assert [outcome.index for outcome in outcomes] == list(range(len(tasks)))
         assert [outcome.pair_id for outcome in outcomes] == [
             task.pair_id for task in tasks
@@ -76,32 +90,64 @@ class TestSerialExecutor:
         for outcome in outcomes[:-1]:
             assert outcome.matched and outcome.matcher is not None
 
+    def test_stream_consumes_tasks_lazily(self, tasks):
+        """One task in, one outcome out — the overlap-enabling property."""
+        pulled = []
+
+        def task_source():
+            for task in tasks[:3]:
+                pulled.append(task.index)
+                yield task
+
+        stream = SerialExecutor().stream(task_source(), MatchingConfig())
+        assert pulled == []
+        next(stream)
+        assert pulled == [0]
+        next(stream)
+        assert pulled == [0, 1]
+
     def test_results_are_plain_json(self, tasks):
-        outcomes = SerialExecutor().execute(tasks[:2], MatchingConfig())
+        outcomes = SerialExecutor().stream(tasks[:2], MatchingConfig())
         json.dumps([outcome.result for outcome in outcomes])  # must not raise
+
+
+class TestExecuteDeprecationShim:
+    def test_execute_warns_and_matches_sorted_stream(self, tasks):
+        config = MatchingConfig()
+        streamed = list(SerialExecutor().stream(tasks, config))
+        with pytest.warns(DeprecationWarning, match="SerialExecutor.execute"):
+            executed = SerialExecutor().execute(tasks, config)
+        assert executed == streamed
+
+    def test_execute_sorts_parallel_arrivals_by_index(self, tasks):
+        with pytest.warns(DeprecationWarning, match="ParallelExecutor.execute"):
+            outcomes = ParallelExecutor(workers=2, chunk_size=1).execute(
+                tasks, MatchingConfig()
+            )
+        assert [outcome.index for outcome in outcomes] == list(range(len(tasks)))
 
 
 class TestParallelExecutor:
     def test_four_workers_byte_identical_to_serial(self, tasks):
         config = MatchingConfig()
-        serial = SerialExecutor().execute(tasks, config)
-        parallel = ParallelExecutor(workers=4).execute(tasks, config)
-        serial_bytes = json.dumps(
-            [dataclasses.asdict(outcome) for outcome in serial], sort_keys=True
-        ).encode("utf-8")
-        parallel_bytes = json.dumps(
-            [dataclasses.asdict(outcome) for outcome in parallel], sort_keys=True
-        ).encode("utf-8")
-        assert serial_bytes == parallel_bytes
+        serial = SerialExecutor().stream(tasks, config)
+        parallel = ParallelExecutor(workers=4).stream(tasks, config)
+        assert _canonical(serial) == _canonical(parallel)
 
-    def test_chunk_size_one_still_ordered(self, tasks):
-        outcomes = ParallelExecutor(workers=2, chunk_size=1).execute(
-            tasks, MatchingConfig()
+    def test_chunked_stream_covers_every_task(self, tasks):
+        outcomes = list(
+            ParallelExecutor(workers=2, chunk_size=1).stream(
+                tasks, MatchingConfig()
+            )
         )
-        assert [outcome.index for outcome in outcomes] == list(range(len(tasks)))
+        assert sorted(outcome.index for outcome in outcomes) == list(
+            range(len(tasks))
+        )
 
     def test_single_worker_falls_back_to_serial_path(self, tasks):
-        outcomes = ParallelExecutor(workers=1).execute(tasks[:2], MatchingConfig())
+        outcomes = list(
+            ParallelExecutor(workers=1).stream(tasks[:2], MatchingConfig())
+        )
         assert len(outcomes) == 2
 
     def test_rejects_bad_parameters(self):
@@ -109,3 +155,50 @@ class TestParallelExecutor:
             ParallelExecutor(workers=0)
         with pytest.raises(ValueError):
             ParallelExecutor(chunk_size=0)
+
+
+class TestOverlapExecutor:
+    def test_byte_identical_to_inner_serial(self, tasks):
+        config = MatchingConfig()
+        serial = SerialExecutor().stream(tasks, config)
+        overlap = OverlapExecutor().stream(tasks, config)
+        assert _canonical(serial) == _canonical(overlap)
+
+    def test_preserves_inner_order(self, tasks):
+        outcomes = list(OverlapExecutor(buffer_size=2).stream(tasks, MatchingConfig()))
+        assert [outcome.index for outcome in outcomes] == list(range(len(tasks)))
+
+    def test_name_reflects_inner_backend(self):
+        assert OverlapExecutor().name == "overlap[serial]"
+        assert OverlapExecutor(ParallelExecutor(workers=2)).name == "overlap[parallel]"
+
+    def test_producer_exceptions_reach_the_consumer(self, tasks):
+        bad = PairTask(
+            index=0,
+            circuit1=tasks[0].circuit1,
+            circuit2=tasks[0].circuit2,
+            equivalence="NOT-A-CLASS",
+        )
+        with pytest.raises(ValueError, match="unknown equivalence label"):
+            list(OverlapExecutor().stream([bad], MatchingConfig()))
+
+    def test_rejects_bad_buffer(self):
+        with pytest.raises(ValueError):
+            OverlapExecutor(buffer_size=0)
+
+    def test_abandoning_the_stream_does_not_deadlock(self):
+        """Closing the generator early must unblock a producer stuck on a
+        full queue (regression: join() used to wait forever)."""
+
+        class Firehose(SerialExecutor):
+            name = "firehose"
+
+            def stream(self, tasks, config):
+                for index in range(1000):
+                    yield TaskOutcome(index=index, pair_id=None, equivalence="I-I")
+
+        stream = OverlapExecutor(Firehose(), buffer_size=2).stream(
+            [], MatchingConfig()
+        )
+        assert next(stream).index == 0
+        stream.close()  # must return promptly, not hang on join()

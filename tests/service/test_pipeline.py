@@ -9,6 +9,7 @@ JSONL store without re-executing finished pairs.
 from __future__ import annotations
 
 import json
+import warnings
 
 import pytest
 
@@ -20,8 +21,15 @@ from repro.exceptions import ServiceError
 from repro.oracles.oracle import ReversibleOracle
 from repro.quantum.oracle import QuantumCircuitOracle
 from repro.service.cache import LRUCache, build_cache
-from repro.service.executor import ParallelExecutor, SerialExecutor
-from repro.service.pipeline import MatchingService, ResultStore
+from repro.service.events import RunCompleted
+from repro.service.executor import OverlapExecutor, ParallelExecutor, SerialExecutor
+from repro.service.pipeline import (
+    MatchingService,
+    ResultStore,
+    merge_stores,
+    parse_shard,
+    shard_index,
+)
 from repro.service.workload import generate_corpus
 
 
@@ -42,19 +50,212 @@ class TestResultStore:
         loaded = store.load()
         assert set(loaded) == {"a", "b"}
 
-    def test_torn_final_line_is_skipped(self, tmp_path):
+    def test_torn_final_line_is_skipped_with_a_warning(self, tmp_path):
         path = tmp_path / "results.jsonl"
         store = ResultStore(path)
         store.append({"pair_id": "a", "status": "ok"})
         with open(path, "a", encoding="utf-8") as handle:
             handle.write('{"pair_id": "b", "stat')  # crash mid-append
-        assert set(store.load()) == {"a"}
+        with pytest.warns(UserWarning, match="truncated or malformed"):
+            loaded = store.load()
+        assert set(loaded) == {"a"}
+
+    def test_clean_store_loads_without_warnings(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        store.append({"pair_id": "a", "status": "ok"})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert set(store.load()) == {"a"}
+
+    def test_resume_survives_a_torn_trailing_record(self, corpus, tmp_path):
+        """A crash mid-append must not poison --resume (the satellite bug)."""
+        store_path = tmp_path / "results.jsonl"
+        MatchingService().run_manifest(corpus, store_path=store_path, seed=5)
+        full = ResultStore(store_path).load()
+        # Re-create the store with the last record torn mid-write.
+        lines = store_path.read_text().splitlines()
+        store_path.write_text(
+            "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2],
+            encoding="utf-8",
+        )
+        with pytest.warns(UserWarning, match="re-run on resume"):
+            report = MatchingService().run_manifest(
+                corpus, store_path=store_path, resume=True, seed=5
+            )
+        assert report.resumed == report.total - 1 and report.executed == 1
+        with pytest.warns(UserWarning):  # the torn line stays in the file
+            assert ResultStore(store_path).load() == full
+
+    def test_touch_materialises_an_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        assert not store.exists
+        store.touch()
+        assert store.exists and store.load() == {}
 
     def test_newest_record_wins(self, tmp_path):
         store = ResultStore(tmp_path / "results.jsonl")
         store.append({"pair_id": "a", "status": "failed"})
         store.append({"pair_id": "a", "status": "ok"})
         assert store.load()["a"]["status"] == "ok"
+
+
+class TestStreamingRuns:
+    """The tentpole contract: streaming == batch, regardless of backend."""
+
+    def test_stream_is_the_primitive_behind_run_manifest(self, corpus, tmp_path):
+        service = MatchingService()
+        streamed_store = tmp_path / "streamed.jsonl"
+        report = None
+        for event in service.stream(corpus, store_path=streamed_store, seed=5):
+            if isinstance(event, RunCompleted):
+                report = event.report
+        consumed_store = tmp_path / "consumed.jsonl"
+        consumed = service.run_manifest(
+            corpus, store_path=consumed_store, seed=5
+        )
+        assert report is not None and report.records == consumed.records
+        assert streamed_store.read_bytes() == consumed_store.read_bytes()
+
+    def test_overlap_store_byte_identical_to_serial(self, corpus, tmp_path):
+        serial_store = tmp_path / "serial.jsonl"
+        overlap_store = tmp_path / "overlap.jsonl"
+        MatchingService().run_manifest(corpus, store_path=serial_store, seed=9)
+        MatchingService(executor=OverlapExecutor()).run_manifest(
+            corpus, store_path=overlap_store, seed=9
+        )
+        assert serial_store.read_bytes() == overlap_store.read_bytes()
+
+    def test_parallel_stream_records_identical_to_serial(self, corpus, tmp_path):
+        serial = MatchingService().run_manifest(corpus, seed=9)
+        parallel_store = tmp_path / "parallel.jsonl"
+        parallel = MatchingService(
+            executor=ParallelExecutor(workers=4, chunk_size=1)
+        ).run_manifest(corpus, store_path=parallel_store, seed=9)
+        # Arrival (and therefore store line) order is backend-specific,
+        # but the record set — seeds, witnesses, query counts — is not.
+        assert json.dumps(parallel.records, sort_keys=True) == json.dumps(
+            serial.records, sort_keys=True
+        )
+        assert len(ResultStore(parallel_store).load()) == serial.total
+
+    def test_stopping_the_stream_keeps_streamed_records(self, corpus, tmp_path):
+        """Records persist before their event is yielded, so breaking out
+        of the stream never loses a pair the consumer already saw."""
+        from repro.service.events import TaskCompleted, TaskFailed
+
+        store_path = tmp_path / "partial.jsonl"
+        seen = []
+        stream = MatchingService().stream(corpus, store_path=store_path, seed=5)
+        for event in stream:
+            if isinstance(event, (TaskCompleted, TaskFailed)):
+                seen.append(event.record["pair_id"])
+                if len(seen) == 3:
+                    break
+        stream.close()
+        stored = ResultStore(store_path).load()
+        assert set(seen) <= set(stored)
+
+    def test_warm_cache_streaming_run_executes_nothing(self, corpus):
+        service = MatchingService(
+            executor=OverlapExecutor(), cache=build_cache()
+        )
+        cold = service.run_manifest(corpus, seed=5)
+        warm = service.run_manifest(corpus, seed=5)
+        assert cold.executed == cold.total
+        assert warm.executed == 0 and warm.cache_hits == warm.total
+        assert warm.classical_queries == 0 and warm.quantum_queries == 0
+
+
+class TestSharding:
+    def test_parse_shard(self):
+        assert parse_shard("0/3") == (0, 3)
+        assert parse_shard("2/3") == (2, 3)
+        for bad in ("3/3", "-1/3", "0/0", "a/b", "1", "1/2/3"):
+            with pytest.raises(ServiceError):
+                parse_shard(bad)
+
+    def test_shard_index_is_a_stable_partition(self):
+        ids = [f"pair-{i:03d}" for i in range(64)]
+        buckets = [shard_index(pair_id, 4) for pair_id in ids]
+        assert set(buckets) <= set(range(4))
+        # Stable across calls (it is a pure hash, not salted).
+        assert buckets == [shard_index(pair_id, 4) for pair_id in ids]
+        # Every pair lands in exactly one shard.
+        for pair_id in ids:
+            owners = [
+                shard for shard in range(4) if shard_index(pair_id, 4) == shard
+            ]
+            assert len(owners) == 1
+
+    def test_shard_union_is_record_identical_to_unsharded(self, corpus, tmp_path):
+        """Satellite: shards 0/3..2/3 union == the unsharded run, exactly.
+
+        Record-for-record including per-pair seeds and query counts —
+        because shard runs keep manifest positions when deriving seeds.
+        """
+        full_store = tmp_path / "full.jsonl"
+        full = MatchingService().run_manifest(
+            corpus, store_path=full_store, seed=5
+        )
+        shard_reports = []
+        shard_stores = []
+        for index in range(3):
+            store = tmp_path / f"shard{index}.jsonl"
+            shard_stores.append(store)
+            shard_reports.append(
+                MatchingService().run_manifest(
+                    corpus, store_path=store, seed=5, shard=(index, 3)
+                )
+            )
+        assert sum(report.total for report in shard_reports) == full.total
+        merged = tmp_path / "merged.jsonl"
+        count = merge_stores(merged, shard_stores)
+        assert count == full.total
+        assert merged.read_bytes() == full_store.read_bytes()
+
+    def test_shard_accepts_spec_strings(self, corpus):
+        by_tuple = MatchingService().run_manifest(corpus, seed=5, shard=(1, 3))
+        by_spec = MatchingService().run_manifest(corpus, seed=5, shard="1/3")
+        assert by_tuple.records == by_spec.records
+        assert by_spec.shard == (1, 3)
+        assert "shard 1/3" in by_spec.summary()
+
+    def test_invalid_shard_tuple_is_rejected(self, corpus):
+        with pytest.raises(ServiceError, match="invalid shard"):
+            MatchingService().run_manifest(corpus, shard=(3, 3))
+
+
+class TestMergeStores:
+    def test_merge_missing_store_fails(self, tmp_path):
+        with pytest.raises(ServiceError, match="does not exist"):
+            merge_stores(tmp_path / "out.jsonl", [tmp_path / "nope.jsonl"])
+
+    def test_merge_tolerates_empty_shards(self, tmp_path):
+        empty = ResultStore(tmp_path / "empty.jsonl")
+        empty.touch()
+        full = ResultStore(tmp_path / "full.jsonl")
+        full.append({"pair_id": "a", "index": 1, "status": "ok"})
+        full.append({"pair_id": "b", "index": 0, "status": "ok"})
+        out = tmp_path / "out.jsonl"
+        assert merge_stores(out, [empty.path, full.path]) == 2
+        ordered = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [record["pair_id"] for record in ordered] == ["b", "a"]
+
+    def test_merge_rejects_conflicting_records(self, tmp_path):
+        one = ResultStore(tmp_path / "one.jsonl")
+        one.append({"pair_id": "a", "index": 0, "status": "ok"})
+        two = ResultStore(tmp_path / "two.jsonl")
+        two.append({"pair_id": "a", "index": 0, "status": "failed"})
+        with pytest.raises(ServiceError, match="conflicting records"):
+            merge_stores(tmp_path / "out.jsonl", [one.path, two.path])
+
+    def test_merge_deduplicates_identical_records(self, tmp_path):
+        one = ResultStore(tmp_path / "one.jsonl")
+        one.append({"pair_id": "a", "index": 0, "status": "ok"})
+        two = ResultStore(tmp_path / "two.jsonl")
+        two.append({"pair_id": "a", "index": 0, "status": "ok"})
+        out = tmp_path / "out.jsonl"
+        assert merge_stores(out, [one.path, two.path]) == 1
 
 
 class TestRunManifest:

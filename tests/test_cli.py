@@ -252,6 +252,103 @@ class TestCorpusRun:
         assert "--cache-size must be positive" in capsys.readouterr().err
 
 
+class TestRunStreaming:
+    @pytest.fixture
+    def corpus(self, tmp_path):
+        """A four-pair corpus directory for the streaming-flag tests."""
+        corpus = tmp_path / "corpus"
+        code = main(
+            [
+                "corpus",
+                str(corpus),
+                "--num-lines",
+                "4",
+                "--families",
+                "random,library",
+                "--classes",
+                "I-N,P-I",
+                "--seed",
+                "11",
+            ]
+        )
+        assert code == 0
+        return corpus
+
+    def test_progress_flag_leaves_exit_code_unchanged(self, corpus, capsys):
+        """Satellite: --progress is additive — same exit code, same stdout
+        shape, progress confined to stderr; quiet runs stay quiet."""
+        quiet_code = main(["run", str(corpus), "--seed", "5"])
+        quiet = capsys.readouterr()
+        loud_code = main(["run", str(corpus), "--seed", "5", "--progress"])
+        loud = capsys.readouterr()
+        assert quiet_code == loud_code == 0
+        assert quiet.err == ""
+        assert "4/4 matched" in quiet.out and "4/4 matched" in loud.out
+        lines = loud.err.splitlines()
+        assert lines[0].startswith("run started: 4 pairs")
+        assert lines[-1].startswith("run completed: 4/4")
+        assert len(lines) == 2 + 4  # banner + one line per pair + banner
+
+    def test_progress_cadence_and_overlap(self, corpus, capsys):
+        code = main(
+            ["run", str(corpus), "--seed", "5", "--progress", "2", "--overlap"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "overlap[serial]" in captured.out
+        assert len(captured.err.splitlines()) == 2 + 2
+
+    def test_progress_rejects_nonpositive_cadence(self, corpus, capsys):
+        assert main(["run", str(corpus), "--progress", "0"]) == 2
+        assert "--progress cadence" in capsys.readouterr().err
+
+    def test_events_log_written(self, corpus, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        assert main(["run", str(corpus), "--seed", "5", "--events", str(log)]) == 0
+        entries = [json.loads(line) for line in log.read_text().splitlines()]
+        assert entries[0]["event"] == "RunStarted"
+        assert entries[-1]["event"] == "RunCompleted"
+
+    def test_sharded_runs_merge_to_the_unsharded_store(self, corpus, tmp_path, capsys):
+        full = tmp_path / "full.jsonl"
+        assert main(["run", str(corpus), "--store", str(full), "--seed", "5"]) == 0
+        shard_stores = []
+        for index in range(2):
+            store = tmp_path / f"shard{index}.jsonl"
+            shard_stores.append(store)
+            code = main(
+                [
+                    "run",
+                    str(corpus),
+                    "--store",
+                    str(store),
+                    "--seed",
+                    "5",
+                    "--shard",
+                    f"{index}/2",
+                ]
+            )
+            assert code == 0
+        merged = tmp_path / "merged.jsonl"
+        code = main(
+            ["merge", *map(str, shard_stores), "--output", str(merged)]
+        )
+        assert code == 0
+        assert "merged 4 records from 2 stores" in capsys.readouterr().out
+        assert merged.read_bytes() == full.read_bytes()
+
+    def test_run_rejects_malformed_shard(self, corpus, capsys):
+        assert main(["run", str(corpus), "--shard", "2/2"]) == 2
+        assert "shard" in capsys.readouterr().err
+
+    def test_merge_missing_store_fails(self, tmp_path, capsys):
+        code = main(
+            ["merge", str(tmp_path / "nope.jsonl"), "--output", str(tmp_path / "o")]
+        )
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
 class TestDecide:
     def test_decide_positive(self, circuit_files, capsys):
         scrambled, base = circuit_files
