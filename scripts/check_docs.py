@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Documentation checker: the docs must run, parse and link.
+
+Checks, over ``README.md`` and every ``docs/*.md``:
+
+* ``python`` code fences execute (cumulatively per file, in a scratch
+  working directory).  A fence directly preceded by the HTML comment
+  ``<!-- docs-check: skip -->`` is skipped — for snippets that need
+  context the checker cannot provide (e.g. a corpus on disk).
+* ``json`` code fences parse as JSON.
+* ``protocol`` code fences (docs/protocol.md) frame-check: every line
+  is ``C:``/``S:``, and every server frame parses as JSON.  The full
+  replay against a live daemon lives in
+  ``tests/service/test_protocol_docs.py``.
+* Relative markdown links resolve to existing files (anchors and
+  external URLs are ignored).
+
+Exit status 0 when everything holds; 1 otherwise, with one line per
+problem.  Run from anywhere: ``python scripts/check_docs.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SKIP_MARK = "<!-- docs-check: skip -->"
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_fences(text: str):
+    """Yield ``(first_line, lang, body, skipped)`` for every code fence."""
+    lines = text.splitlines()
+    index, skip_next = 0, False
+    while index < len(lines):
+        stripped = lines[index].strip()
+        if stripped == SKIP_MARK:
+            skip_next = True
+            index += 1
+            continue
+        if stripped.startswith("```"):
+            lang = stripped[3:].strip()
+            first_line = index + 1
+            body: list[str] = []
+            index += 1
+            while index < len(lines) and lines[index].strip() != "```":
+                body.append(lines[index])
+                index += 1
+            index += 1  # the closing fence
+            yield first_line, lang, "\n".join(body) + "\n", skip_next
+            skip_next = False
+            continue
+        if stripped:
+            skip_next = False
+        index += 1
+
+
+def check_python_fences(path: Path, text: str) -> list[str]:
+    """Execute the file's python fences cumulatively in one namespace."""
+    errors: list[str] = []
+    namespace: dict = {"__name__": f"docs_check_{path.stem}"}
+    cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix="docs-check-") as scratch:
+        os.chdir(scratch)
+        try:
+            for line, lang, body, skipped in iter_fences(text):
+                if lang != "python" or skipped:
+                    continue
+                try:
+                    exec(compile(body, f"{path}:{line}", "exec"), namespace)
+                except Exception as error:  # noqa: BLE001 - reported, not raised
+                    errors.append(
+                        f"{path}:{line}: python fence failed: "
+                        f"{type(error).__name__}: {error}"
+                    )
+        finally:
+            os.chdir(cwd)
+    return errors
+
+
+def check_data_fences(path: Path, text: str) -> list[str]:
+    errors: list[str] = []
+    for line, lang, body, skipped in iter_fences(text):
+        if skipped:
+            continue
+        if lang == "json":
+            try:
+                json.loads(body)
+            except json.JSONDecodeError as error:
+                errors.append(f"{path}:{line}: json fence does not parse: {error}")
+        elif lang == "protocol":
+            for offset, raw in enumerate(body.splitlines()):
+                raw = raw.strip()
+                if not raw:
+                    continue
+                where = f"{path}:{line + offset}"
+                if raw.startswith("S: "):
+                    try:
+                        json.loads(raw[3:])
+                    except json.JSONDecodeError as error:
+                        errors.append(
+                            f"{where}: server frame does not parse: {error}"
+                        )
+                elif not raw.startswith("C: "):
+                    errors.append(f"{where}: protocol line is neither C: nor S:")
+    return errors
+
+
+def check_links(path: Path, text: str) -> list[str]:
+    errors: list[str] = []
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                errors.append(
+                    f"{path}:{lineno}: broken link: {target} "
+                    f"(resolved against {path.parent})"
+                )
+    return errors
+
+
+def check_file(path: Path) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    return (
+        check_python_fences(path, text)
+        + check_data_fences(path, text)
+        + check_links(path, text)
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        targets = [Path(arg) for arg in argv]
+    else:
+        targets = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+    src = ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    errors: list[str] = []
+    for target in targets:
+        if not target.exists():
+            errors.append(f"{target}: file does not exist")
+            continue
+        errors.extend(check_file(target))
+        print(f"checked {target.relative_to(ROOT) if target.is_relative_to(ROOT) else target}")
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} problem(s) found", file=sys.stderr)
+        return 1
+    print("docs OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

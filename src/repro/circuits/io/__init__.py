@@ -5,10 +5,17 @@
 * :mod:`repro.circuits.io.qasm` — a minimal OpenQASM 2.0 exporter/importer
   covering the gate set reversible circuits use (``x``, ``cx``, ``ccx``,
   ``swap`` and multi-controlled ``x`` via comment-annotated decomposition).
+
+:func:`load_circuit` / :func:`save_circuit` pick the format from the file
+extension (``.qasm`` → OpenQASM, anything else → ``.real``) — the one rule
+every file-accepting surface (CLI, daemon submissions) shares.
 """
 
 from __future__ import annotations
 
+import os
+
+from repro.circuits.circuit import ReversibleCircuit
 from repro.circuits.io.qasm import circuit_to_qasm, qasm_to_circuit
 from repro.circuits.io.real import (
     circuit_to_real,
@@ -24,4 +31,25 @@ __all__ = [
     "circuit_to_real",
     "circuit_to_qasm",
     "qasm_to_circuit",
+    "load_circuit",
+    "save_circuit",
 ]
+
+
+def load_circuit(path: str | os.PathLike) -> ReversibleCircuit:
+    """Read a circuit file, picking the parser from the extension."""
+    path = os.fspath(path)
+    if path.endswith(".qasm"):
+        with open(path, "r", encoding="utf-8") as handle:
+            return qasm_to_circuit(handle.read(), name=path)
+    return read_real(path)
+
+
+def save_circuit(circuit: ReversibleCircuit, path: str | os.PathLike) -> None:
+    """Write a circuit file, picking the writer from the extension."""
+    path = os.fspath(path)
+    if path.endswith(".qasm"):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(circuit_to_qasm(circuit))
+    else:
+        write_real(circuit, path)

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight sub-commands cover the workflows a user of the library reaches for
+Twelve sub-commands cover the workflows a user of the library reaches for
 most often without writing Python:
 
 * ``repro info CIRCUIT.real`` — line/gate counts, cost metrics and an ASCII
@@ -26,7 +26,16 @@ most often without writing Python:
   manifest), ``--progress`` (a progress line per N finished pairs) and
   ``--events`` (JSONL lifecycle-event log);
 * ``repro merge`` — union the result stores of shard runs into one store,
-  byte-identical to an unsharded run of the same manifest.
+  byte-identical to an unsharded run of the same manifest;
+* ``repro serve`` — run the long-lived matching daemon (one warm engine
+  and shared result cache across many submissions) on a Unix or TCP
+  socket, speaking the ``repro-daemon/v1`` protocol of ``docs/protocol.md``;
+* ``repro submit`` — submit a corpus manifest (or ad-hoc ``--pair``\\ s) to
+  a running daemon, optionally waiting with the same ``--progress`` /
+  ``--events`` observers as ``repro run``;
+* ``repro watch`` — subscribe to a daemon run's live event stream;
+* ``repro daemon`` — daemon administration (``ping`` / ``status`` /
+  ``stats`` / ``cancel`` / ``shutdown``).
 
 Matching commands accept ``--no-quantum`` (forbid the simulated quantum
 matchers) and ``--budget N`` (hard oracle query budget).  Circuit files may
@@ -38,12 +47,14 @@ console script.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.circuits import drawing, metrics
 from repro.circuits.circuit import ReversibleCircuit
-from repro.circuits.io import qasm, real
+from repro.circuits.io import load_circuit, save_circuit
 from repro.circuits.permutation import Permutation
 from repro.core import (
     EquivalenceType,
@@ -52,8 +63,13 @@ from repro.core import (
     verify_match,
 )
 from repro.core.decision import decide
-from repro.exceptions import ReproError
-from repro.service.events import EventLogObserver, ProgressObserver
+from repro.exceptions import DaemonError, ReproError
+from repro.service.daemon import DaemonClient, MatchingDaemon, RunState
+from repro.service.events import (
+    EventLogObserver,
+    ProgressObserver,
+    RunCompleted,
+)
 from repro.service.executor import (
     OverlapExecutor,
     ParallelExecutor,
@@ -71,21 +87,6 @@ from repro.synthesis import synthesize
 from repro.version import __version__
 
 __all__ = ["main", "build_parser"]
-
-
-def _load_circuit(path: str) -> ReversibleCircuit:
-    if path.endswith(".qasm"):
-        with open(path, "r", encoding="utf-8") as handle:
-            return qasm.qasm_to_circuit(handle.read(), name=path)
-    return real.read_real(path)
-
-
-def _save_circuit(circuit: ReversibleCircuit, path: str) -> None:
-    if path.endswith(".qasm"):
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(qasm.circuit_to_qasm(circuit))
-    else:
-        real.write_real(circuit, path)
 
 
 def _format_witnesses(result) -> str:
@@ -109,7 +110,7 @@ def _format_witnesses(result) -> str:
 # Sub-command handlers
 # ---------------------------------------------------------------------------
 def _cmd_info(args: argparse.Namespace) -> int:
-    circuit = _load_circuit(args.circuit)
+    circuit = load_circuit(args.circuit)
     report = metrics.metrics(circuit)
     print(f"circuit : {circuit.name or args.circuit}")
     for key, value in report.as_dict().items():
@@ -136,8 +137,8 @@ def _engine_from_args(args: argparse.Namespace) -> MatchingEngine:
 
 
 def _cmd_match(args: argparse.Namespace) -> int:
-    c1 = _load_circuit(args.circuit1)
-    c2 = _load_circuit(args.circuit2)
+    c1 = load_circuit(args.circuit1)
+    c2 = load_circuit(args.circuit2)
     equivalence = EquivalenceType.from_label(args.equivalence)
     engine = _engine_from_args(args)
     result = engine.match(c1, c2, equivalence, rng=args.seed)
@@ -192,7 +193,7 @@ def _cmd_match_many(args: argparse.Namespace) -> int:
     for path1, path2, _ in rows:
         for path in (path1, path2):
             if path not in circuits:
-                circuits[path] = _load_circuit(path)
+                circuits[path] = load_circuit(path)
     pairs = [
         (circuits[path1], circuits[path2], label) for path1, path2, label in rows
     ]
@@ -205,8 +206,8 @@ def _cmd_match_many(args: argparse.Namespace) -> int:
 
 
 def _cmd_decide(args: argparse.Namespace) -> int:
-    c1 = _load_circuit(args.circuit1)
-    c2 = _load_circuit(args.circuit2)
+    c1 = load_circuit(args.circuit1)
+    c2 = load_circuit(args.circuit2)
     outcome = decide(
         c1,
         c2,
@@ -273,17 +274,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.overlap:
         executor = OverlapExecutor(executor)
     shard = parse_shard(args.shard) if args.shard is not None else None
-    observers = []
-    event_log = None
-    if args.progress is not None:
-        if args.progress <= 0:
-            raise ReproError(
-                f"--progress cadence must be positive, got {args.progress}"
-            )
-        observers.append(ProgressObserver(every=args.progress))
-    if args.events is not None:
-        event_log = EventLogObserver(args.events)
-        observers.append(event_log)
+    observers, event_log = _watch_observers(args)
     service = MatchingService(
         MatchingConfig(
             epsilon=args.epsilon,
@@ -324,6 +315,188 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Daemon commands
+# ---------------------------------------------------------------------------
+def _daemon_client(args: argparse.Namespace) -> DaemonClient:
+    """Build a client from the shared daemon-address flags."""
+    if args.socket is not None:
+        return DaemonClient(socket_path=args.socket, timeout=args.timeout)
+    if args.host is not None:
+        if args.port is None:
+            raise ReproError("--host needs --port")
+        return DaemonClient(host=args.host, port=args.port, timeout=args.timeout)
+    if args.address_file is not None:
+        try:
+            address = Path(args.address_file).read_text(encoding="utf-8").strip()
+        except OSError as error:
+            raise ReproError(f"cannot read --address-file: {error}") from None
+        return DaemonClient.from_address(address, timeout=args.timeout)
+    raise ReproError(
+        "name the daemon with --socket PATH, --host/--port, or --address-file"
+    )
+
+
+def _watch_observers(args: argparse.Namespace) -> tuple[list, EventLogObserver | None]:
+    """The observers a waiting submit/watch wires up, like ``repro run``."""
+    observers: list = []
+    event_log = None
+    if args.progress is not None:
+        if args.progress <= 0:
+            raise ReproError(
+                f"--progress cadence must be positive, got {args.progress}"
+            )
+        observers.append(ProgressObserver(every=args.progress))
+    if args.events is not None:
+        event_log = EventLogObserver(args.events)
+        observers.append(event_log)
+    return observers, event_log
+
+
+class _FinalReport:
+    """Observer capturing the run's RunCompleted aggregate.
+
+    The exit code must count *every* failed pair, including ones served
+    from the cache or the store (those arrive as ``CacheHit`` events, so
+    tallying ``TaskFailed`` events would under-count) — the summary on
+    ``RunCompleted`` is the authoritative total, same as ``repro run``.
+    """
+
+    def __init__(self) -> None:
+        self.failed: int | None = None
+
+    def notify(self, event) -> None:
+        if isinstance(event, RunCompleted):
+            self.failed = event.report.failed
+
+
+def _watch_run(client: DaemonClient, run_id: str, args: argparse.Namespace) -> int:
+    """Subscribe to a run, forward events to observers, map state to exit code."""
+    observers, event_log = _watch_observers(args)
+    final = _FinalReport()
+    observers.append(final)
+    try:
+        state = client.watch(
+            run_id, observers, replay=not getattr(args, "no_replay", False)
+        )
+    finally:
+        if event_log is not None:
+            event_log.close()
+    if final.failed is None and state == RunState.COMPLETED:
+        # --no-replay on an already-finished run delivers no events; the
+        # authoritative failure count then comes from a status probe.
+        final.failed = client.status(run_id)["run"]["summary"]["failed"]
+    print(f"{run_id}: {state}")
+    if state == RunState.COMPLETED and final.failed == 0:
+        return 0
+    return 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.no_cache:
+        cache = None
+    else:
+        if args.cache_size <= 0:
+            raise ReproError(
+                f"--cache-size must be positive, got {args.cache_size} "
+                "(use --no-cache to disable caching)"
+            )
+        cache = build_cache(
+            memory_size=args.cache_size,
+            disk_dir=args.cache_dir,
+        )
+    inner = (
+        ParallelExecutor(workers=args.workers)
+        if args.workers > 1
+        else SerialExecutor(persistent_engine=True)
+    )
+    if args.socket is None and args.host is None:
+        args.socket = str(Path(args.store_dir) / "daemon.sock")
+    daemon = MatchingDaemon(
+        MatchingConfig(
+            epsilon=args.epsilon,
+            allow_quantum=not args.no_quantum,
+            with_inverse=args.with_inverse,
+            max_queries=args.budget,
+        ),
+        store_dir=args.store_dir,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        cache=cache,
+        executor=OverlapExecutor(inner),
+        verify=args.verify,
+        max_queued=args.max_queued,
+    )
+    daemon.start()
+    print(f"listening on {daemon.address} (store dir: {daemon.store_dir})")
+    if args.address_file is not None:
+        Path(args.address_file).write_text(daemon.address + "\n", encoding="utf-8")
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        daemon.stop()
+    print("daemon stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    if (args.manifest is None) == (not args.pair):
+        raise ReproError("submit needs a MANIFEST or at least one --pair (not both)")
+    if args.resume and args.store is None:
+        raise ReproError(
+            "--resume requires --store PATH (each submission otherwise gets "
+            "a fresh store, leaving nothing to resume from)"
+        )
+    pairs = None
+    if args.pair:
+        for _, _, label in args.pair:
+            try:
+                EquivalenceType.from_label(label)  # fail client-side
+            except ValueError as error:
+                raise ReproError(str(error)) from None
+        pairs = [
+            {"circuit1": c1, "circuit2": c2, "equivalence": label}
+            for c1, c2, label in args.pair
+        ]
+    with _daemon_client(args) as client:
+        ack = client.submit(
+            args.manifest,
+            pairs=pairs,
+            seed=args.seed,
+            resume=args.resume,
+            store=args.store,
+        )
+        run_id = ack["run_id"]
+        print(f"submitted {run_id} (store: {ack['store']})")
+        if not (args.wait or args.progress is not None or args.events is not None):
+            return 0
+        return _watch_run(client, run_id, args)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    with _daemon_client(args) as client:
+        return _watch_run(client, args.run_id, args)
+
+
+def _cmd_daemon(args: argparse.Namespace) -> int:
+    if args.action == "cancel" and args.run_id is None:
+        raise ReproError("cancel needs a RUN_ID")
+    with _daemon_client(args) as client:
+        if args.action == "ping":
+            response = client.ping()
+        elif args.action == "status":
+            response = client.status(args.run_id)
+        elif args.action == "stats":
+            response = client.stats()
+        elif args.action == "cancel":
+            response = client.cancel(args.run_id)
+        else:  # shutdown (argparse restricts the choices)
+            response = client.shutdown()
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
     mapping = [int(token) for token in args.permutation.split(",")]
     circuit = synthesize(
@@ -332,7 +505,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     print(f"synthesised {circuit.num_gates} gates on {circuit.num_lines} lines")
     print(drawing.draw(circuit, ascii_only=args.ascii))
     if args.output:
-        _save_circuit(circuit, args.output)
+        save_circuit(circuit, args.output)
         print(f"written to {args.output}")
     return 0
 
@@ -530,6 +703,169 @@ def build_parser() -> argparse.ArgumentParser:
         help="merged JSONL store to write (overwritten)",
     )
     merger.set_defaults(handler=_cmd_merge)
+
+    def add_daemon_address(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--socket", metavar="PATH", help="Unix socket the daemon listens on"
+        )
+        sub.add_argument("--host", help="TCP host the daemon listens on")
+        sub.add_argument("--port", type=int, help="TCP port (with --host)")
+        sub.add_argument(
+            "--address-file", metavar="PATH",
+            help="file holding the daemon address (written by 'repro serve')",
+        )
+        sub.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="socket timeout (default: block forever)",
+        )
+
+    def add_watch_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--progress", type=int, nargs="?", const=1, default=None, metavar="N",
+            help="print a progress line every N finished pairs",
+        )
+        sub.add_argument(
+            "--events", metavar="PATH",
+            help="append every received lifecycle event to a JSONL log file",
+        )
+
+    server = subparsers.add_parser(
+        "serve",
+        help="run the long-lived matching daemon",
+        description=(
+            "Starts a matching daemon: one warm engine and one shared "
+            "result cache serve every submission, so repeated pairs cost "
+            "zero oracle queries across clients.  Speaks the newline-"
+            "delimited JSON protocol repro-daemon/v1 (docs/protocol.md) "
+            "on a Unix socket (default: <store-dir>/daemon.sock) or TCP "
+            "with --host/--port (port 0 picks a free port).  Every run "
+            "streams to its own JSONL store under --store-dir, so daemon "
+            "runs resume and merge exactly like 'repro run' ones."
+        ),
+    )
+    server.add_argument(
+        "--store-dir", default="./daemon-runs", metavar="DIR",
+        help="directory for per-run result stores (default ./daemon-runs)",
+    )
+    server.add_argument(
+        "--socket", metavar="PATH",
+        help="listen on this Unix socket (default <store-dir>/daemon.sock)",
+    )
+    server.add_argument("--host", help="listen on TCP at this host instead")
+    server.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (with --host; 0 = pick a free one)",
+    )
+    server.add_argument(
+        "--address-file", metavar="PATH",
+        help="write the bound address here (what clients' --address-file reads)",
+    )
+    server.add_argument(
+        "--max-queued", type=int, default=16, metavar="N",
+        help="bound on waiting jobs; submits beyond it are rejected",
+    )
+    server.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="process-pool size per run (1 = serial with a warm engine)",
+    )
+    server.add_argument(
+        "--cache-size", type=int, default=4096, metavar="N",
+        help="in-memory LRU capacity in results (default 4096)",
+    )
+    server.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persist the shared result cache on disk",
+    )
+    server.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the shared result cache entirely",
+    )
+    server.add_argument(
+        "--verify", action="store_true",
+        help="exhaustively verify the witnesses of freshly executed pairs",
+    )
+    server.add_argument("--epsilon", type=float, default=1e-3)
+    server.add_argument(
+        "--no-quantum", action="store_true",
+        help="disallow the simulated quantum matchers",
+    )
+    add_engine_arguments(server)
+    server.set_defaults(handler=_cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit a run to a matching daemon",
+        description=(
+            "Submits a corpus manifest (or ad-hoc --pair C1 C2 CLASS "
+            "triples) to a running daemon and prints the run id.  With "
+            "--wait (implied by --progress/--events) the command "
+            "subscribes to the run's event stream and exits 0 only when "
+            "the run completed with no failed pairs — the same contract "
+            "as 'repro run'."
+        ),
+    )
+    submit.add_argument(
+        "manifest", nargs="?",
+        help="path to a manifest.json or corpus directory (on the daemon's host)",
+    )
+    submit.add_argument(
+        "--pair", nargs=3, action="append", default=[],
+        metavar=("C1", "C2", "CLASS"),
+        help="an ad-hoc circuit pair with its promised class (repeatable)",
+    )
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument(
+        "--resume", action="store_true",
+        help="skip pairs the run's store already answered",
+    )
+    submit.add_argument(
+        "--store", metavar="PATH",
+        help="result store path override (default <store-dir>/<run-id>.jsonl)",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="wait for the run and mirror its outcome in the exit code",
+    )
+    add_watch_options(submit)
+    add_daemon_address(submit)
+    submit.set_defaults(handler=_cmd_submit)
+
+    watcher = subparsers.add_parser(
+        "watch",
+        help="subscribe to a daemon run's event stream",
+        description=(
+            "Streams a run's lifecycle events from a daemon — replaying "
+            "history first, so watching a finished run shows the whole "
+            "run.  Exit code 0 only for a completed run with no failed "
+            "pairs."
+        ),
+    )
+    watcher.add_argument("run_id", help="the run to watch (e.g. run-0001)")
+    watcher.add_argument(
+        "--no-replay", action="store_true",
+        help="live events only; do not replay history",
+    )
+    add_watch_options(watcher)
+    add_daemon_address(watcher)
+    watcher.set_defaults(handler=_cmd_watch)
+
+    admin = subparsers.add_parser(
+        "daemon",
+        help="administer a running matching daemon",
+        description=(
+            "One-shot admin requests against a running daemon; prints "
+            "the JSON response frame."
+        ),
+    )
+    admin.add_argument(
+        "action", choices=("ping", "status", "stats", "cancel", "shutdown")
+    )
+    admin.add_argument(
+        "run_id", nargs="?",
+        help="run id (required for cancel, optional for status)",
+    )
+    add_daemon_address(admin)
+    admin.set_defaults(handler=_cmd_daemon)
 
     decider = subparsers.add_parser("decide", help="non-promise decision")
     add_matching_arguments(decider)

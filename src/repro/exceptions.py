@@ -24,6 +24,7 @@ __all__ = [
     "QuantumError",
     "ServiceError",
     "FingerprintError",
+    "DaemonError",
 ]
 
 
@@ -94,3 +95,7 @@ class ServiceError(ReproError):
 
 class FingerprintError(ServiceError):
     """An oracle cannot be fingerprinted (e.g. opaque and too wide)."""
+
+
+class DaemonError(ServiceError):
+    """Failure in the matching daemon (protocol, transport, or job state)."""

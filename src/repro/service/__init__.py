@@ -27,15 +27,36 @@ for corpora:
   (:func:`shard_index`) and :func:`merge_stores` to union shard stores.
 * :mod:`repro.service.serialize` — the JSON form of matching results
   shared by cache, store and executor.
+* :mod:`repro.service.daemon` — the long-lived front end:
+  :class:`MatchingDaemon` keeps one warm engine and one shared cache
+  alive across many submissions behind a newline-delimited JSON socket
+  protocol (``repro-daemon/v1``), with :class:`DaemonClient` as the
+  Python/CLI counterpart; every submission streams into its own JSONL
+  result store, so daemon runs resume and merge like CLI runs.
 
 The CLI surfaces this as ``repro corpus`` (generate), ``repro run``
 (execute, with ``--workers``, ``--overlap``, ``--cache-dir``,
-``--resume``, ``--shard i/n``, ``--progress`` and ``--events``) and
-``repro merge`` (union shard stores).
+``--resume``, ``--shard i/n``, ``--progress`` and ``--events``),
+``repro merge`` (union shard stores), and the daemon quartet ``repro
+serve`` / ``repro submit`` / ``repro watch`` / ``repro daemon``
+(admin: status, stats, cancel, shutdown).
+
+The layer's contracts — the ``label|fp1|fp2|config_digest`` cache-key
+contract, the event ordering and persist-before-yield guarantees, the
+shard/merge byte-identity guarantee, and the daemon wire protocol — are
+specified in ``docs/`` (``cache-keys.md``, ``events.md``,
+``architecture.md``, ``protocol.md``).
 """
 
 from __future__ import annotations
 
+from repro.service.daemon import (
+    PROTOCOL_VERSION,
+    DaemonClient,
+    DaemonJob,
+    MatchingDaemon,
+    RunState,
+)
 from repro.service.cache import (
     CacheStats,
     DiskCache,
@@ -50,6 +71,7 @@ from repro.service.events import (
     EventLogObserver,
     Observer,
     ProgressObserver,
+    ReportSummary,
     RunCompleted,
     RunStarted,
     ServiceEvent,
@@ -58,6 +80,7 @@ from repro.service.events import (
     TaskCompleted,
     TaskFailed,
     TaskStarted,
+    event_from_dict,
 )
 from repro.service.executor import (
     Executor,
@@ -117,10 +140,18 @@ __all__ = [
     "TaskFailed",
     "StoreFlushed",
     "RunCompleted",
+    "ReportSummary",
+    "event_from_dict",
     "Observer",
     "ProgressObserver",
     "EventLogObserver",
     "StatsObserver",
+    # daemon
+    "PROTOCOL_VERSION",
+    "RunState",
+    "DaemonJob",
+    "MatchingDaemon",
+    "DaemonClient",
     # executor
     "Executor",
     "SerialExecutor",

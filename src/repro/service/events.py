@@ -21,6 +21,17 @@ the common cases:
 Observer failures are deliberately *not* swallowed: a broken observer is
 a bug in the caller's wiring, and silently dropping its exception would
 hide it.
+
+Because events are JSON both ways — :meth:`~ServiceEvent.to_dict` out,
+:func:`event_from_dict` back in — an event stream crosses process and
+socket boundaries losslessly enough for observers: the matching daemon
+serialises events onto its wire protocol and ``repro watch`` rebuilds
+typed events on the client, so the same ``ProgressObserver`` works
+against an in-process run and a remote one.  The one asymmetry is
+:class:`RunCompleted`, whose wire form carries only the report's
+aggregate counters; :func:`event_from_dict` rebuilds it around a
+:class:`ReportSummary` rather than a full
+:class:`~repro.service.pipeline.ServiceReport`.
 """
 
 from __future__ import annotations
@@ -42,6 +53,8 @@ __all__ = [
     "TaskFailed",
     "StoreFlushed",
     "RunCompleted",
+    "ReportSummary",
+    "event_from_dict",
     "Observer",
     "ProgressObserver",
     "EventLogObserver",
@@ -212,6 +225,96 @@ class RunCompleted(ServiceEvent):
             "elapsed": report.elapsed,
             "executor": report.executor,
         }
+
+
+@dataclass(frozen=True)
+class ReportSummary:
+    """The aggregate counters of a :class:`~repro.service.pipeline.ServiceReport`.
+
+    What survives a :class:`RunCompleted` round trip through
+    :meth:`~ServiceEvent.to_dict` / :func:`event_from_dict` — per-pair
+    records stay on the producing side (they were already streamed as
+    individual events and persisted to the run's result store), the
+    counters cross the wire.
+    """
+
+    total: int = 0
+    matched: int = 0
+    failed: int = 0
+    resumed: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    elapsed: float = 0.0
+    executor: str = "?"
+
+    def summary(self) -> str:
+        """One-line aggregate, mirroring :meth:`ServiceReport.summary`."""
+        return (
+            f"{self.matched}/{self.total} matched ({self.failed} failed), "
+            f"{self.cache_hits} cached, {self.resumed} resumed, "
+            f"{self.executed} executed via {self.executor} in "
+            f"{self.elapsed:.2f}s"
+        )
+
+
+def event_from_dict(data: dict) -> ServiceEvent:
+    """Rebuild a typed event from :meth:`ServiceEvent.to_dict` output.
+
+    The inverse that lets observers watch a run they did not produce —
+    an event log replay, or a daemon's wire frames.  ``RunCompleted``
+    comes back with a :class:`ReportSummary` as its report (the wire form
+    only carries aggregates).  Raises :class:`ValueError` on an unknown
+    or missing ``"event"`` kind.
+    """
+    kind = data.get("event")
+    if kind == "RunStarted":
+        shard = data.get("shard")
+        return RunStarted(
+            total=data.get("total", 0),
+            executor=data.get("executor", "?"),
+            store_path=data.get("store_path"),
+            seed=data.get("seed"),
+            shard=tuple(shard) if shard is not None else None,
+        )
+    if kind == "TaskStarted":
+        return TaskStarted(
+            index=data.get("index", 0),
+            pair_id=data.get("pair_id"),
+            equivalence=data.get("equivalence", "?"),
+        )
+    if kind == "CacheHit":
+        return CacheHit(
+            index=data.get("index", 0),
+            pair_id=data.get("pair_id"),
+            source=data.get("source", "cache"),
+            record=data.get("record") or {},
+        )
+    if kind in ("TaskCompleted", "TaskFailed"):
+        event_type = TaskCompleted if kind == "TaskCompleted" else TaskFailed
+        return event_type(
+            index=data.get("index", 0),
+            pair_id=data.get("pair_id"),
+            record=data.get("record") or {},
+        )
+    if kind == "StoreFlushed":
+        return StoreFlushed(
+            path=data.get("path"),
+            records_written=data.get("records_written", 0),
+        )
+    if kind == "RunCompleted":
+        return RunCompleted(
+            report=ReportSummary(
+                total=data.get("total", 0),
+                matched=data.get("matched", 0),
+                failed=data.get("failed", 0),
+                resumed=data.get("resumed", 0),
+                cache_hits=data.get("cache_hits", 0),
+                executed=data.get("executed", 0),
+                elapsed=data.get("elapsed", 0.0),
+                executor=data.get("executor", "?"),
+            )
+        )
+    raise ValueError(f"not a service event dict (event kind {kind!r})")
 
 
 @runtime_checkable

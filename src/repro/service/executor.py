@@ -189,14 +189,34 @@ class SerialExecutor(Executor):
     The task iterable is consumed lazily: each task is pulled, executed
     and its outcome yielded before the next task is even looked at, so a
     generator of tasks interleaves perfectly with the outcome stream.
+
+    Args:
+        persistent_engine: keep one :class:`MatchingEngine` per
+            :class:`MatchingConfig` alive across :meth:`stream` calls
+            instead of building a fresh one per run.  What a long-lived
+            process (the matching daemon) wants: the engine — registry
+            resolution and all — stays warm between submissions.  Off by
+            default so one-shot runs keep their no-shared-state property.
     """
 
     name = "serial"
 
+    def __init__(self, *, persistent_engine: bool = False) -> None:
+        self._persistent = persistent_engine
+        self._engines: dict[MatchingConfig, MatchingEngine] = {}
+
+    def _engine(self, config: MatchingConfig) -> MatchingEngine:
+        if not self._persistent:
+            return MatchingEngine(config)
+        engine = self._engines.get(config)
+        if engine is None:
+            engine = self._engines[config] = MatchingEngine(config)
+        return engine
+
     def stream(
         self, tasks: Iterable[PairTask], config: MatchingConfig
     ) -> Iterator[TaskOutcome]:
-        engine = MatchingEngine(config)
+        engine = self._engine(config)
         for task in tasks:
             yield _execute_task(engine, task)
 

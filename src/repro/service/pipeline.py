@@ -763,21 +763,38 @@ class MatchingService:
             observers,
         )
 
-    def match_pairs(
+    @staticmethod
+    def _pair_digest(circuit1, circuit2, label: str) -> str | None:
+        """A content digest identifying an ad-hoc pair, or None if opaque.
+
+        Positional ``pair-NNNN`` ids alone would let a resume against a
+        store written for *different* pairs replay the wrong results;
+        records carry this digest so resume can insist the content
+        matches, not just the position.
+        """
+        try:
+            fp1 = fingerprint(circuit1)
+            fp2 = fingerprint(circuit2)
+        except FingerprintError:
+            return None
+        payload = f"{label}|{fp1.digest}|{fp2.digest}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def _pair_units(
         self,
         pairs: Iterable[Sequence],
+        equivalence: EquivalenceType | str | None,
         *,
-        equivalence: EquivalenceType | str | None = None,
-        seed: int | None = None,
-        observers: Sequence[Observer] | None = None,
-    ) -> ServiceReport:
-        """Run in-memory pairs (the :meth:`match_many` shape) as a pipeline.
+        with_digests: bool = False,
+    ) -> list[_Unit]:
+        """Normalise match-many-shaped pairs into positioned units.
 
-        Accepts ``(circuit1, circuit2)`` or ``(circuit1, circuit2,
-        equivalence)`` tuples exactly like
-        :meth:`repro.core.engine.MatchingEngine.match_many`, but with the
-        service's cache, executor and observers in the loop.  No store is
-        involved — use :meth:`run_manifest` for resumable runs.
+        Ad-hoc pairs get deterministic ``pair-NNNN`` ids from their batch
+        position, so a pair stream attached to a result store is resumable
+        and mergeable exactly like a manifest run.  ``with_digests``
+        additionally stamps each unit's record with :meth:`_pair_digest`
+        (only wanted when a store is attached — it costs a truth-table
+        tabulation per circuit).
         """
         if isinstance(equivalence, EquivalenceType):
             equivalence = equivalence.label
@@ -802,8 +819,75 @@ class MatchingService:
                 label = label.label
             else:
                 label = EquivalenceType.from_label(label).label
-            units.append(_Unit(position, None, circuit1, circuit2, label, {}))
+            meta = {}
+            if with_digests:
+                meta["pair_digest"] = self._pair_digest(circuit1, circuit2, label)
+            units.append(
+                _Unit(position, f"pair-{position:04d}", circuit1, circuit2, label, meta)
+            )
+        return units
+
+    def stream_pairs(
+        self,
+        pairs: Iterable[Sequence],
+        *,
+        equivalence: EquivalenceType | str | None = None,
+        seed: int | None = None,
+        store_path: str | Path | None = None,
+        resume: bool = False,
+    ) -> Iterator[ServiceEvent]:
+        """Execute in-memory pairs as a stream of lifecycle events.
+
+        The pair-list counterpart of :meth:`stream`: accepts ``(circuit1,
+        circuit2)`` or ``(circuit1, circuit2, equivalence)`` tuples exactly
+        like :meth:`repro.core.engine.MatchingEngine.match_many`.  Each
+        pair is assigned the deterministic id ``pair-NNNN`` from its batch
+        position, so attaching a ``store_path`` makes ad-hoc submissions
+        resumable (``resume=True`` skips ids the store already answered) —
+        this is what lets the matching daemon persist every submission,
+        manifest or not, as an ordinary JSONL result store.
+
+        Positional ids alone cannot tell two different pair lists apart,
+        so store records carry a content digest of the pair and resume
+        only trusts a stored record whose digest matches — submitting
+        *different* pairs against an old store re-runs them instead of
+        silently replaying the previous submission's results.
+        """
+        if resume and store_path is None:
+            raise ServiceError("resume requires a result store path")
+        units = self._pair_units(
+            pairs, equivalence, with_digests=store_path is not None
+        )
+        store = ResultStore(store_path) if store_path is not None else None
+        done = store.load() if (resume and store is not None) else {}
+        if done:
+            digests = {
+                unit.pair_id: unit.meta.get("pair_digest") for unit in units
+            }
+            done = {
+                pair_id: record
+                for pair_id, record in done.items()
+                if digests.get(pair_id) is not None
+                and record.get("pair_digest") == digests[pair_id]
+            }
+        return self._stream_units(units, done=done, store=store, seed=seed)
+
+    def match_pairs(
+        self,
+        pairs: Iterable[Sequence],
+        *,
+        equivalence: EquivalenceType | str | None = None,
+        seed: int | None = None,
+        observers: Sequence[Observer] | None = None,
+    ) -> ServiceReport:
+        """Run in-memory pairs (the :meth:`match_many` shape) as a pipeline.
+
+        A thin consumer of :meth:`stream_pairs` with the service's cache,
+        executor and observers in the loop.  No store is involved — pass
+        ``store_path`` to :meth:`stream_pairs` (or use :meth:`run_manifest`)
+        for resumable runs.
+        """
         return self._consume(
-            self._stream_units(units, done={}, store=None, seed=seed),
+            self.stream_pairs(pairs, equivalence=equivalence, seed=seed),
             observers,
         )

@@ -20,6 +20,7 @@ from repro.service.events import (
     EventLogObserver,
     Observer,
     ProgressObserver,
+    ReportSummary,
     RunCompleted,
     RunStarted,
     StatsObserver,
@@ -27,6 +28,7 @@ from repro.service.events import (
     TaskCompleted,
     TaskFailed,
     TaskStarted,
+    event_from_dict,
 )
 from repro.service.pipeline import MatchingService
 from repro.service.workload import generate_corpus
@@ -167,3 +169,51 @@ class TestEventLogObserver:
         log = EventLogObserver(tmp_path / "events.jsonl")
         log.close()
         log.close()
+
+
+class TestEventRoundTrip:
+    """to_dict -> event_from_dict must be lossless enough for observers."""
+
+    def test_each_event_kind_round_trips(self):
+        events = [
+            RunStarted(total=3, executor="serial", store_path="s.jsonl",
+                       seed=7, shard=(1, 4)),
+            TaskStarted(index=2, pair_id="p", equivalence="N-I"),
+            CacheHit(index=0, pair_id="p", source="store",
+                     record={"status": "resumed"}),
+            TaskCompleted(index=1, pair_id=None, record={"status": "ok"}),
+            TaskFailed(index=2, pair_id="q", record={"error": "E: boom"}),
+            StoreFlushed(path="s.jsonl", records_written=4),
+        ]
+        for event in events:
+            rebuilt = event_from_dict(json.loads(json.dumps(event.to_dict())))
+            assert rebuilt == event
+
+    def test_run_completed_comes_back_as_summary(self, corpus):
+        stream = MatchingService().stream(corpus, seed=3)
+        completed = [e for e in stream if isinstance(e, RunCompleted)][0]
+        rebuilt = event_from_dict(completed.to_dict())
+        assert isinstance(rebuilt, RunCompleted)
+        summary = rebuilt.report
+        assert isinstance(summary, ReportSummary)
+        assert summary.total == completed.report.total
+        assert summary.matched == completed.report.matched
+        assert summary.executed == completed.report.executed
+        assert summary.executor == completed.report.executor
+        # The summary round-trips through to_dict identically: observers
+        # downstream of a relay see the same counters.
+        assert RunCompleted(report=summary).to_dict() == completed.to_dict()
+        assert str(summary.total) in summary.summary()
+
+    def test_rebuilt_events_drive_stats_observer_identically(self, corpus):
+        direct, relayed = StatsObserver(), StatsObserver()
+        for event in MatchingService().stream(corpus, seed=3):
+            direct.notify(event)
+            relayed.notify(event_from_dict(event.to_dict()))
+        assert relayed.as_dict() == direct.as_dict()
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="not a service event"):
+            event_from_dict({"event": "Nonsense"})
+        with pytest.raises(ValueError, match="not a service event"):
+            event_from_dict({"total": 3})

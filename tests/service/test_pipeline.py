@@ -418,3 +418,44 @@ class TestMatchPairs:
         report = service.match_pairs([(c1, c2, "P-I")], seed=2)
         assert report.failed == 1
         assert "QueryBudgetExceededError" in report.records[0]["error"]
+
+
+class TestStreamPairs:
+    def test_pairs_get_deterministic_ids_and_a_store(self, rng, tmp_path):
+        base = random_circuit(4, 12, rng)
+        pairs = [make_instance(base, EquivalenceType.I_P, rng)[:2] for _ in range(3)]
+        store_path = tmp_path / "pairs.jsonl"
+        service = MatchingService()
+        events = list(
+            service.stream_pairs(
+                pairs, equivalence="I-P", seed=2, store_path=store_path
+            )
+        )
+        report = [e for e in events if isinstance(e, RunCompleted)][0].report
+        assert [r["pair_id"] for r in report.records] == [
+            "pair-0000", "pair-0001", "pair-0002",
+        ]
+        assert set(ResultStore(store_path).load()) == {
+            "pair-0000", "pair-0001", "pair-0002",
+        }
+
+    def test_resume_skips_stored_pairs(self, rng, tmp_path):
+        base = random_circuit(4, 12, rng)
+        pairs = [make_instance(base, EquivalenceType.I_P, rng)[:2] for _ in range(3)]
+        store_path = tmp_path / "pairs.jsonl"
+        service = MatchingService()
+        list(service.stream_pairs(pairs, equivalence="I-P", seed=2,
+                                  store_path=store_path))
+        events = list(
+            service.stream_pairs(
+                pairs, equivalence="I-P", seed=2,
+                store_path=store_path, resume=True,
+            )
+        )
+        report = [e for e in events if isinstance(e, RunCompleted)][0].report
+        assert report.resumed == 3 and report.executed == 0
+
+    def test_resume_requires_store(self, rng):
+        circuit = random_circuit(3, 6, rng)
+        with pytest.raises(ServiceError, match="resume requires"):
+            MatchingService().stream_pairs([(circuit, circuit, "I-I")], resume=True)

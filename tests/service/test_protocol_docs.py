@@ -1,0 +1,147 @@
+"""docs/protocol.md is executable: its example session runs verbatim
+against a real daemon, so the documented wire protocol cannot drift
+from the implementation.
+
+Matching is structural, per the convention stated in the document:
+documented keys must exist with the documented values, ``…`` is a
+wildcard (prefix wildcard at the end of a string), and
+machine-specific keys (pids, paths, timings, per-pair records) are
+present-but-not-compared.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import socket
+from pathlib import Path
+
+import pytest
+
+from repro.circuits.io import write_real
+from repro.circuits.library import hidden_weighted_bit
+from repro.service import MatchingDaemon
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "protocol.md"
+
+WILDCARD = "…"  # …
+
+#: Keys whose values are inherently machine- or timing-specific; the
+#: doc shows a representative value, the test only checks presence.
+VOLATILE = {"pid", "store", "store_path", "store_dir", "path", "uptime",
+            "elapsed", "record"}
+
+
+def parse_session(text: str) -> list[tuple[str, str]]:
+    """Extract the ``C:``/``S:`` lines of every ```protocol fence."""
+    steps: list[tuple[str, str]] = []
+    for block in re.findall(r"```protocol\n(.*?)```", text, re.S):
+        for line in block.splitlines():
+            line = line.strip()
+            if line.startswith("C: "):
+                steps.append(("C", line[3:]))
+            elif line.startswith("S: "):
+                steps.append(("S", line[3:]))
+            elif line:
+                raise AssertionError(f"unparseable protocol line: {line!r}")
+    return steps
+
+
+def assert_matches(documented, actual, where="$") -> None:
+    if isinstance(documented, str):
+        if documented == WILDCARD:
+            return
+        if documented.endswith(WILDCARD):
+            prefix = documented[:-1]
+            assert isinstance(actual, str) and actual.startswith(prefix), (
+                f"{where}: {actual!r} does not start with {prefix!r}"
+            )
+            return
+        assert actual == documented, f"{where}: {actual!r} != {documented!r}"
+    elif isinstance(documented, dict):
+        assert isinstance(actual, dict), f"{where}: expected an object"
+        for key, value in documented.items():
+            assert key in actual, f"{where}.{key}: documented but absent"
+            if key in VOLATILE:
+                continue
+            assert_matches(value, actual[key], f"{where}.{key}")
+    elif isinstance(documented, list):
+        assert isinstance(actual, list) and len(actual) == len(documented), (
+            f"{where}: expected a {len(documented)}-element array"
+        )
+        for index, (doc_item, actual_item) in enumerate(zip(documented, actual)):
+            assert_matches(doc_item, actual_item, f"{where}[{index}]")
+    else:
+        assert actual == documented, f"{where}: {actual!r} != {documented!r}"
+
+
+def rewrite_paths(frame, substitutions: dict):
+    """Point the documented circuit/manifest paths at the test's files."""
+    if isinstance(frame, dict):
+        return {
+            key: (
+                substitutions[key]
+                if key in substitutions
+                else rewrite_paths(value, substitutions)
+            )
+            for key, value in frame.items()
+        }
+    if isinstance(frame, list):
+        return [rewrite_paths(item, substitutions) for item in frame]
+    return frame
+
+
+@pytest.fixture
+def circuit_files(tmp_path):
+    circuit = hidden_weighted_bit(3)
+    c1, c2 = tmp_path / "c1.real", tmp_path / "c2.real"
+    write_real(circuit, c1)
+    write_real(circuit, c2)
+    return str(c1), str(c2)
+
+
+class TestProtocolDocument:
+    def test_every_op_is_documented(self):
+        text = DOC.read_text(encoding="utf-8")
+        for op in ("ping", "submit", "status", "events", "cancel", "stats",
+                   "shutdown"):
+            assert f"`{op}`" in text, f"op {op} missing from protocol.md"
+        assert "repro-daemon/v1" in text
+
+    def test_documented_session_replays_against_a_live_daemon(
+        self, tmp_path, circuit_files
+    ):
+        steps = parse_session(DOC.read_text(encoding="utf-8"))
+        assert steps, "protocol.md lost its validated session"
+        c1, c2 = circuit_files
+        substitutions = {"circuit1": c1, "circuit2": c2}
+
+        daemon = MatchingDaemon(
+            store_dir=tmp_path / "runs", host="127.0.0.1", port=0
+        )
+        daemon.start()
+        try:
+            _, _, rest = daemon.address.partition(":")
+            host, _, port = rest.rpartition(":")
+            connection = socket.create_connection((host, int(port)), timeout=30)
+            reader = connection.makefile("r", encoding="utf-8")
+            try:
+                for kind, payload in steps:
+                    if kind == "C":
+                        try:
+                            frame = json.loads(payload)
+                        except json.JSONDecodeError:
+                            wire = payload  # the documented malformed frame
+                        else:
+                            wire = json.dumps(rewrite_paths(frame, substitutions))
+                        connection.sendall((wire + "\n").encode("utf-8"))
+                    else:
+                        documented = json.loads(payload)
+                        line = reader.readline()
+                        assert line, f"daemon hung up before: {payload}"
+                        assert_matches(documented, json.loads(line))
+            finally:
+                connection.close()
+            daemon.serve_forever()  # returns once the documented shutdown lands
+        finally:
+            daemon.stop()

@@ -387,3 +387,149 @@ class TestSynth:
     def test_synth_invalid_permutation(self, capsys):
         assert main(["synth", "--permutation", "0,0,1,2"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestDaemonCommands:
+    @pytest.fixture
+    def corpus(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        assert main(
+            [
+                "corpus", str(corpus),
+                "--num-lines", "3",
+                "--families", "random",
+                "--classes", "I-I,P-I",
+                "--seed", "11",
+            ]
+        ) == 0
+        return corpus
+
+    @pytest.fixture
+    def served(self, tmp_path, corpus):
+        """A daemon run by the `serve` command on a background thread."""
+        import threading
+        import time
+
+        address_file = tmp_path / "addr"
+        thread = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve",
+                    "--store-dir", str(tmp_path / "runs"),
+                    "--socket", str(tmp_path / "d.sock"),
+                    "--address-file", str(address_file),
+                ],
+            ),
+        )
+        thread.start()
+        deadline = time.monotonic() + 30
+        while not address_file.exists():
+            assert time.monotonic() < deadline, "serve never wrote its address"
+            time.sleep(0.02)
+        yield ["--address-file", str(address_file)]
+        main(["daemon", "shutdown", "--address-file", str(address_file)])
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+    def test_serve_submit_watch_shutdown(self, served, corpus, capsys):
+        at = served
+        assert main(["submit", str(corpus), "--seed", "5", "--wait", *at]) == 0
+        out = capsys.readouterr().out
+        assert "submitted run-0001" in out
+        assert "run-0001: completed" in out
+
+        # Watching the finished run replays it; a second submit of the
+        # same manifest is answered wholly by the daemon's shared cache.
+        assert main(["watch", "run-0001", "--progress", *at]) == 0
+        assert "run-0001: completed" in capsys.readouterr().out
+        assert main(["submit", str(corpus), "--seed", "5", "--wait", *at]) == 0
+        capsys.readouterr()
+        assert main(["daemon", "status", "run-0002", *at]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["run"]["summary"]["executed"] == 0
+        assert main(["daemon", "stats", *at]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["cache"]["hits"] >= 2
+        assert stats["runs"]["completed"] == 2
+
+    def test_submit_pair_and_event_log(self, served, corpus, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "submit",
+                "--pair",
+                str(corpus / "random-i-i-000-c1.real"),
+                str(corpus / "random-i-i-000-c2.real"),
+                "I-I",
+                "--events", str(log),
+                *served,
+            ]
+        )
+        assert code == 0
+        kinds = [json.loads(line)["event"] for line in log.read_text().splitlines()]
+        assert kinds[0] == "RunStarted" and kinds[-1] == "RunCompleted"
+
+    def test_submit_argument_validation(self, capsys):
+        assert main(["submit", "--socket", "/nonexistent.sock"]) == 2
+        assert "needs a MANIFEST" in capsys.readouterr().err
+
+    def test_client_without_address(self, capsys):
+        assert main(["daemon", "ping"]) == 2
+        assert "--socket" in capsys.readouterr().err
+
+    def test_cancel_requires_run_id(self, capsys):
+        assert main(["daemon", "cancel", "--socket", "/nonexistent.sock"]) == 2
+        assert "RUN_ID" in capsys.readouterr().err
+
+    def test_unreachable_daemon_is_a_cli_error(self, tmp_path, capsys):
+        assert main(["daemon", "ping", "--socket", str(tmp_path / "no.sock")]) == 2
+        assert "cannot reach daemon" in capsys.readouterr().err
+
+    def test_cached_failures_still_fail_the_exit_code(
+        self, served, tmp_path, capsys
+    ):
+        # An adversarial (non-equivalent) pair fails; resubmitting it hits
+        # the daemon's cache, and the cached failure must still exit 1.
+        bad = tmp_path / "bad"
+        assert main(
+            [
+                "corpus", str(bad),
+                "--num-lines", "3",
+                "--families", "adversarial",
+                "--classes", "P-I",
+                "--seed", "3",
+            ]
+        ) == 0
+        assert main(["submit", str(bad), "--seed", "5", "--wait", *served]) == 1
+        assert main(["submit", str(bad), "--seed", "5", "--wait", *served]) == 1
+        capsys.readouterr()
+        assert main(["daemon", "status", "run-0002", *served]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["run"]["summary"]["executed"] == 0  # cached replay
+        assert status["run"]["summary"]["failed"] >= 1
+
+    def test_watch_no_replay_of_finished_run_uses_status(
+        self, served, corpus, capsys
+    ):
+        assert main(["submit", str(corpus), "--seed", "5", "--wait", *served]) == 0
+        capsys.readouterr()
+        # No events arrive (the run is finished and replay is off), but a
+        # clean completed run must still exit 0 via the status fallback.
+        assert main(["watch", "run-0001", "--no-replay", *served]) == 0
+        assert "run-0001: completed" in capsys.readouterr().out
+
+    def test_submit_rejects_bad_pair_label(self, capsys):
+        code = main(
+            ["submit", "--pair", "a.real", "b.real", "BOGUS",
+             "--socket", "/nonexistent.sock"]
+        )
+        assert code == 2
+        assert "equivalence" in capsys.readouterr().err.lower()
+
+    def test_submit_resume_requires_store(self, corpus, capsys):
+        code = main(
+            ["submit", str(corpus), "--resume", "--socket", "/nonexistent.sock"]
+        )
+        assert code == 2
+        assert "--resume requires --store" in capsys.readouterr().err

@@ -1,0 +1,73 @@
+"""The documentation gate, in tier-1: docs must run, parse and link.
+
+Wraps ``scripts/check_docs.py`` (the same entry point the CI docs job
+uses) so a PR that breaks a documented snippet or a cross-reference
+fails the ordinary test suite, not just the docs job.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", ROOT / "scripts" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRepositoryDocs:
+    def test_docs_directory_is_complete(self):
+        for name in ("architecture.md", "cache-keys.md", "events.md",
+                     "protocol.md"):
+            assert (ROOT / "docs" / name).exists(), f"docs/{name} is missing"
+
+    def test_all_docs_pass_the_checker(self, check_docs, capsys):
+        code = check_docs.main([])
+        captured = capsys.readouterr()
+        assert code == 0, f"docs check failed:\n{captured.err}"
+
+
+class TestCheckerCatchesProblems:
+    """The checker itself must detect what it claims to detect."""
+
+    def test_broken_python_fence(self, check_docs, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("```python\nraise RuntimeError('boom')\n```\n")
+        errors = check_docs.check_file(page)
+        assert any("python fence failed" in error for error in errors)
+
+    def test_skip_marker_is_honoured(self, check_docs, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "<!-- docs-check: skip -->\n"
+            "```python\nraise RuntimeError('boom')\n```\n"
+        )
+        assert check_docs.check_file(page) == []
+
+    def test_broken_json_fence(self, check_docs, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("```json\n{not json}\n```\n")
+        errors = check_docs.check_file(page)
+        assert any("json fence" in error for error in errors)
+
+    def test_broken_relative_link(self, check_docs, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("see [other](missing.md) and [web](https://x.invalid)\n")
+        errors = check_docs.check_file(page)
+        assert len(errors) == 1 and "broken link" in errors[0]
+
+    def test_malformed_protocol_fence(self, check_docs, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text('```protocol\nC: {"op": "ping"}\nS: not json\n```\n')
+        errors = check_docs.check_file(page)
+        assert any("server frame" in error for error in errors)
