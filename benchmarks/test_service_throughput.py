@@ -17,17 +17,26 @@ and the execution *APIs* run the same fixed task batch —
 * overlap (:class:`OverlapExecutor`, execution pipelined with the
   consumer on a background thread).
 
-``test_streaming_not_slower_than_batch`` is a CI gate: the streaming API
-exists to *remove* buffering, so it must not cost throughput — the job
-fails if streaming is more than 25% slower than batch on the fixed
-corpus.  The per-backend pairs/sec figures are printed (``pytest -s``)
-and the wall-clock numbers land in the pytest-benchmark JSON, which CI
-uploads as an artifact so the trajectory tracks throughput over time.
+Two tests are CI gates:
+
+* ``test_streaming_not_slower_than_batch`` — the streaming API exists to
+  *remove* buffering, so it must not cost throughput; the job fails if
+  streaming is more than 25% slower than batch on the fixed corpus.
+* ``test_wide_probe_cached_vs_cold`` — a warm rerun of a **wide**
+  (16–24-line) corpus, keyed by sampled-probe fingerprints, must perform
+  **zero oracle queries**; it also writes the per-scheme cache hit-rate
+  JSON (``SCHEME_HIT_RATES``, default ``scheme-hit-rates.json``) that CI
+  uploads as an artifact.
+
+The per-backend pairs/sec figures are printed (``pytest -s``) and the
+wall-clock numbers land in the pytest-benchmark JSON, which CI uploads
+as an artifact so the trajectory tracks throughput over time.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 import warnings
 
@@ -203,5 +212,68 @@ def test_cached_throughput(benchmark, corpus):
     assert report.classical_queries == 0 and report.quantum_queries == 0
     _report_throughput(
         "service throughput: warm cache",
+        [("cold", cold), ("cached", report)],
+    )
+
+
+@pytest.fixture(scope="module")
+def wide_corpus(tmp_path_factory):
+    """A 16–24-line corpus: past the exact-fingerprint limit, so only
+    sampled-probe identities can key the cache."""
+    root = tmp_path_factory.mktemp("wide_corpus")
+    generate_corpus(root, families=("wide",), pairs_per_class=2, seed=CORPUS_SEED)
+    return root
+
+
+def test_wide_probe_cached_vs_cold(benchmark, wide_corpus):
+    """CI gate: a warm wide-corpus rerun performs zero oracle queries.
+
+    The warm run uses a *fresh* service over the shared cache, so every
+    circuit is a different Python object than the cold run loaded —
+    the hits are earned by probe fingerprints, not object identity.
+    Also writes the per-scheme cache hit-rate JSON CI uploads.
+    """
+    manifest = CorpusManifest.load(wide_corpus / "manifest.json")
+    assert all(entry.num_lines >= 16 for entry in manifest.entries)
+
+    cache = build_cache()
+    cold = MatchingService(cache=cache).run_manifest(wide_corpus, seed=RUN_SEED)
+    assert cold.executed == cold.total > 0
+
+    service = MatchingService(cache=cache)
+    report = benchmark.pedantic(
+        lambda: service.run_manifest(wide_corpus, seed=RUN_SEED),
+        rounds=3,
+        iterations=1,
+    )
+    assert report.cache_hits == report.total and report.executed == 0
+    assert report.classical_queries == 0 and report.quantum_queries == 0
+    # Every warm hit was keyed by a sampled-probe fingerprint.
+    assert set(cache.stats.scheme_hits) == {"probe"}
+
+    stats = cache.stats
+    payload = {
+        "corpus": "wide",
+        "pairs": report.total,
+        "lookups": stats.lookups,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "hit_rate": stats.hit_rate,
+        "scheme_hits": dict(stats.scheme_hits),
+        "scheme_hit_rate": {
+            scheme: hits / stats.lookups
+            for scheme, hits in stats.scheme_hits.items()
+        },
+    }
+    out_path = os.environ.get("SCHEME_HIT_RATES", "scheme-hit-rates.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    emit(
+        "per-scheme cache hit rates (wide corpus)",
+        json.dumps(payload["scheme_hit_rate"], sort_keys=True),
+    )
+    _report_throughput(
+        "service throughput: wide corpus, probe-keyed cache",
         [("cold", cold), ("cached", report)],
     )

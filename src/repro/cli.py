@@ -1,7 +1,7 @@
 """Command-line interface.
 
-Twelve sub-commands cover the workflows a user of the library reaches for
-most often without writing Python:
+Fourteen sub-commands cover the workflows a user of the library reaches
+for most often without writing Python:
 
 * ``repro info CIRCUIT.real`` — line/gate counts, cost metrics and an ASCII
   drawing of a circuit file;
@@ -27,6 +27,12 @@ most often without writing Python:
   ``--events`` (JSONL lifecycle-event log);
 * ``repro merge`` — union the result stores of shard runs into one store,
   byte-identical to an unsharded run of the same manifest;
+* ``repro fingerprint C1.real [C2.real]`` — print the oracle-identity
+  scheme, fingerprint key and (for a pair) the full versioned cache key:
+  the debugging tool for "why was this a cache miss?";
+* ``repro cache migrate`` — inventory a disk result cache across key
+  versions and (``--drop-v1``) reclaim entries stranded by a key-contract
+  bump;
 * ``repro serve`` — run the long-lived matching daemon (one warm engine
   and shared result cache across many submissions) on a Unix or TCP
   socket, speaking the ``repro-daemon/v1`` protocol of ``docs/protocol.md``;
@@ -75,6 +81,11 @@ from repro.service.executor import (
     ParallelExecutor,
     SerialExecutor,
 )
+from repro.service.fingerprint import (
+    FINGERPRINT_SCHEMES,
+    pair_key,
+    registry_for_config,
+)
 from repro.service.pipeline import MatchingService, merge_stores, parse_shard
 from repro.service.workload import (
     DEFAULT_FAMILIES,
@@ -82,7 +93,7 @@ from repro.service.workload import (
     generate_corpus,
     tractable_classes,
 )
-from repro.service.cache import build_cache
+from repro.service.cache import build_cache, migrate_cache
 from repro.synthesis import synthesize
 from repro.version import __version__
 
@@ -247,10 +258,22 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
         pairs_per_class=args.pairs_per_class,
         seed=args.seed,
     )
+    # Entries record what was actually built: the wide family ignores
+    # --num-lines and skips classes it cannot generate, so the summary
+    # counts generated cells, not requested ones.
+    widths = sorted({entry.num_lines for entry in manifest.entries})
+    if not widths:  # e.g. wide family crossed with only non-wide classes
+        width_text = str(manifest.num_lines)
+    elif len(widths) == 1:
+        width_text = str(widths[0])
+    else:
+        width_text = f"{widths[0]}-{widths[-1]}"
+    generated_classes = {entry.equivalence for entry in manifest.entries}
     print(
         f"generated {len(manifest.entries)} pairs "
-        f"({len(manifest.classes)} classes x {len(manifest.families)} families "
-        f"x {args.pairs_per_class}) on {manifest.num_lines} lines, "
+        f"({len(generated_classes)} classes x "
+        f"{len(manifest.families)} families "
+        f"x {args.pairs_per_class}) on {width_text} lines, "
         f"seed {manifest.seed}"
     )
     print(f"manifest: {args.out_dir}/{MANIFEST_NAME}")
@@ -281,6 +304,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             allow_quantum=not args.no_quantum,
             with_inverse=args.with_inverse,
             max_queries=args.budget,
+            fingerprint_scheme=args.fingerprint,
+            probe_count=args.probe_count,
         ),
         executor=executor,
         cache=cache,
@@ -418,6 +443,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             allow_quantum=not args.no_quantum,
             with_inverse=args.with_inverse,
             max_queries=args.budget,
+            fingerprint_scheme=args.fingerprint,
+            probe_count=args.probe_count,
         ),
         store_dir=args.store_dir,
         socket_path=args.socket,
@@ -497,6 +524,49 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fingerprint(args: argparse.Namespace) -> int:
+    config = MatchingConfig(
+        epsilon=args.epsilon,
+        allow_quantum=not args.no_quantum,
+        with_inverse=args.with_inverse,
+        max_queries=args.budget,
+        fingerprint_scheme=args.fingerprint,
+        probe_count=args.probe_count,
+    )
+    registry = registry_for_config(config)
+    paths = [args.circuit1] + ([args.circuit2] if args.circuit2 else [])
+    fingerprints = []
+    for path in paths:
+        circuit = load_circuit(path)
+        strategy = registry.resolve(circuit)
+        fp = registry.fingerprint(circuit, with_inverse=config.with_inverse)
+        print(f"{path}:")
+        print(f"  lines  : {fp.num_lines}")
+        print(f"  scheme : {fp.scheme} ({strategy.name})")
+        print(f"  key    : {fp.key}")
+        fingerprints.append(fp)
+    if len(fingerprints) == 2:
+        equivalence = EquivalenceType.from_label(args.equivalence)
+        key = pair_key(fingerprints[0], fingerprints[1], equivalence, config)
+        print(f"pair key : {key}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    # argparse restricts `action` to "migrate"; the sub-command keeps the
+    # action slot so future maintenance verbs (gc, stats) slot in.
+    counts = migrate_cache(args.cache_dir, drop_v1=args.drop_v1)
+    print(
+        f"{args.cache_dir}: {counts['v2']} current (v2) entries, "
+        f"{counts['v1']} stale v1, {counts['unreadable']} unreadable"
+    )
+    if args.drop_v1:
+        print(f"dropped {counts['dropped']} stale entries")
+    elif counts["v1"] or counts["unreadable"]:
+        print("re-run with --drop-v1 to delete the stale entries")
+    return 0
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
     mapping = [int(token) for token in args.permutation.split(",")]
     circuit = synthesize(
@@ -557,6 +627,20 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="N",
             help="hard per-oracle query budget (QueryBudgetExceededError beyond)",
+        )
+
+    def add_fingerprint_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--fingerprint",
+            choices=FINGERPRINT_SCHEMES,
+            default="auto",
+            help="oracle-identity scheme cache keys use: auto (exact up "
+            "to 14 lines, sampled probes beyond), exact, or probe",
+        )
+        sub.add_argument(
+            "--probe-count", type=int, default=64, metavar="N",
+            help="probes per sampled-probe fingerprint (default 64; "
+            "0 disables the probe tier in auto mode)",
         )
 
     matcher = subparsers.add_parser("match", help="run a promise matcher")
@@ -681,6 +765,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="disallow the simulated quantum matchers",
     )
     add_engine_arguments(runner)
+    add_fingerprint_arguments(runner)
     runner.set_defaults(handler=_cmd_run)
 
     merger = subparsers.add_parser(
@@ -703,6 +788,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="merged JSONL store to write (overwritten)",
     )
     merger.set_defaults(handler=_cmd_merge)
+
+    printer = subparsers.add_parser(
+        "fingerprint",
+        help="print a circuit's oracle identity (and a pair's cache key)",
+        description=(
+            "Fingerprints one or two circuit files under the configured "
+            "identity scheme and prints the chosen scheme and versioned "
+            "key fragment; with two files, also the full pair cache key.  "
+            "The debugging tool for 'why was this pair a cache miss?' — "
+            "two runs hit the same cache entry exactly when this command "
+            "prints the same pair key for both."
+        ),
+    )
+    printer.add_argument("circuit1", help="path to a .real or .qasm file")
+    printer.add_argument(
+        "circuit2", nargs="?", default=None,
+        help="optional second circuit: print the pair's full cache key",
+    )
+    printer.add_argument(
+        "--equivalence", "-e", default="NP-I",
+        help="X-Y class of the pair key (default NP-I)",
+    )
+    printer.add_argument("--epsilon", type=float, default=1e-3)
+    printer.add_argument(
+        "--no-quantum", action="store_true",
+        help="disallow the simulated quantum matchers (part of the key)",
+    )
+    add_engine_arguments(printer)
+    add_fingerprint_arguments(printer)
+    printer.set_defaults(handler=_cmd_fingerprint)
+
+    cache_admin = subparsers.add_parser(
+        "cache",
+        help="result-cache maintenance",
+        description=(
+            "Maintenance over a disk result cache.  'migrate' inventories "
+            "the entries by cache-key version: entries written under the "
+            "v1 contract can never hit again (v2 keys hash to different "
+            "filenames) and --drop-v1 deletes them."
+        ),
+    )
+    cache_admin.add_argument("action", choices=("migrate",))
+    cache_admin.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="the disk cache directory to migrate",
+    )
+    cache_admin.add_argument(
+        "--drop-v1", action="store_true",
+        help="delete stale (v1 or unreadable) entries instead of counting them",
+    )
+    cache_admin.set_defaults(handler=_cmd_cache)
 
     def add_daemon_address(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -790,6 +926,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="disallow the simulated quantum matchers",
     )
     add_engine_arguments(server)
+    add_fingerprint_arguments(server)
     server.set_defaults(handler=_cmd_serve)
 
     submit = subparsers.add_parser(

@@ -75,6 +75,14 @@ class MatchingConfig:
             budget is per matched pair: with a budget set, batch matching
             coerces fresh oracles for every pair instead of reusing them,
             so one pair's spending cannot starve another.
+        fingerprint_scheme: which oracle-identity scheme the service
+            layer's caches key on — ``"auto"`` (exact truth tables up to
+            the width limit, sampled probes beyond), ``"exact"`` or
+            ``"probe"``.  The engine itself never fingerprints; the knob
+            lives here because it is cache *policy* and must be part of
+            the cache key (see :func:`repro.service.fingerprint.config_digest`).
+        probe_count: probes per sampled-probe fingerprint (the probe
+            budget); ``0`` disables the probe tier in ``auto`` mode.
     """
 
     epsilon: float = 1e-3
@@ -82,6 +90,8 @@ class MatchingConfig:
     allow_brute_force: bool = False
     with_inverse: bool = False
     max_queries: int | None = None
+    fingerprint_scheme: str = "auto"
+    probe_count: int = 64
 
 
 @dataclass(frozen=True)

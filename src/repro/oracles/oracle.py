@@ -91,6 +91,18 @@ class ReversibleOracle(ABC):
         self._forward_queries = 0
         self._inverse_queries = 0
 
+    def peek(self, value: int) -> int:
+        """White-box evaluation on one input, charging no queries.
+
+        The pointwise counterpart of :meth:`peek_table`: the sampled-probe
+        fingerprinter evaluates opaque oracles through this hatch so
+        identity computation stays outside the query-complexity
+        accounting — and stays affordable at widths where tabulating the
+        whole table is not.  Never for matchers.
+        """
+        self._check_input(value)
+        return self._evaluate(value)
+
     def peek_table(self) -> list[int]:
         """White-box tabulation of the hidden function, charging no queries.
 

@@ -4,9 +4,10 @@
 pair; this package turns that into a streaming pipeline that answers it
 for corpora:
 
-* :mod:`repro.service.fingerprint` — canonical oracle fingerprints, the
-  stable cache keys (truth-table digests up to a width limit, structural
-  digests beyond).
+* :mod:`repro.service.fingerprint` — oracle identity as a versioned
+  strategy registry (:class:`FingerprintRegistry`): exact truth-table
+  digests up to a width limit, width-independent sampled-probe digests
+  beyond, gate-structure digests as the last resort.
 * :mod:`repro.service.cache` — LRU in-memory and on-disk result caches
   plus :class:`EngineCacheAdapter`, the bridge into
   :meth:`MatchingEngine.match_many`'s ``result_cache`` hook.
@@ -41,10 +42,10 @@ The CLI surfaces this as ``repro corpus`` (generate), ``repro run``
 serve`` / ``repro submit`` / ``repro watch`` / ``repro daemon``
 (admin: status, stats, cancel, shutdown).
 
-The layer's contracts — the ``label|fp1|fp2|config_digest`` cache-key
-contract, the event ordering and persist-before-yield guarantees, the
-shard/merge byte-identity guarantee, and the daemon wire protocol — are
-specified in ``docs/`` (``cache-keys.md``, ``events.md``,
+The layer's contracts — the versioned ``v2|label|fp1|fp2|config_digest``
+cache-key contract, the event ordering and persist-before-yield
+guarantees, the shard/merge byte-identity guarantee, and the daemon wire
+protocol — are specified in ``docs/`` (``cache-keys.md``, ``events.md``,
 ``architecture.md``, ``protocol.md``).
 """
 
@@ -65,6 +66,7 @@ from repro.service.cache import (
     ResultCache,
     TieredCache,
     build_cache,
+    migrate_cache,
 )
 from repro.service.events import (
     CacheHit,
@@ -92,11 +94,26 @@ from repro.service.executor import (
     derive_seed,
 )
 from repro.service.fingerprint import (
+    DEFAULT_PROBE_COUNT,
+    FINGERPRINT_SCHEMES,
     FUNCTIONAL_WIDTH_LIMIT,
+    KEY_VERSION,
+    FingerprintContext,
+    Fingerprinter,
+    FingerprintRegistry,
     OracleFingerprint,
+    SampledProbeFingerprinter,
+    StructureFingerprinter,
+    TruthTableFingerprinter,
+    build_registry,
     config_digest,
+    default_registry,
     fingerprint,
     pair_key,
+    pair_key_schemes,
+    probe_inputs,
+    registry_for_config,
+    scheme_label,
 )
 from repro.service.pipeline import (
     MatchingService,
@@ -109,20 +126,37 @@ from repro.service.pipeline import (
 from repro.service.serialize import result_from_dict, result_to_dict
 from repro.service.workload import (
     DEFAULT_FAMILIES,
+    KNOWN_FAMILIES,
     CorpusEntry,
     CorpusManifest,
     generate_corpus,
     load_entry_circuits,
     tractable_classes,
+    wide_classes,
 )
 
 __all__ = [
     # fingerprint
     "FUNCTIONAL_WIDTH_LIMIT",
+    "DEFAULT_PROBE_COUNT",
+    "FINGERPRINT_SCHEMES",
+    "KEY_VERSION",
     "OracleFingerprint",
+    "FingerprintContext",
+    "Fingerprinter",
+    "FingerprintRegistry",
+    "TruthTableFingerprinter",
+    "SampledProbeFingerprinter",
+    "StructureFingerprinter",
+    "build_registry",
+    "registry_for_config",
+    "default_registry",
+    "probe_inputs",
     "fingerprint",
     "config_digest",
     "pair_key",
+    "pair_key_schemes",
+    "scheme_label",
     # cache
     "CacheStats",
     "ResultCache",
@@ -130,6 +164,7 @@ __all__ = [
     "DiskCache",
     "TieredCache",
     "build_cache",
+    "migrate_cache",
     "EngineCacheAdapter",
     # events
     "ServiceEvent",
@@ -162,11 +197,13 @@ __all__ = [
     "derive_seed",
     # workload
     "DEFAULT_FAMILIES",
+    "KNOWN_FAMILIES",
     "CorpusEntry",
     "CorpusManifest",
     "generate_corpus",
     "load_entry_circuits",
     "tractable_classes",
+    "wide_classes",
     # pipeline
     "MatchingService",
     "ResultStore",

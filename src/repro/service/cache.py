@@ -21,18 +21,21 @@ import json
 import os
 from abc import ABC, abstractmethod
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.engine import MatchingConfig
 from repro.core.equivalence import EquivalenceType
 from repro.core.problem import MatchingResult
-from repro.exceptions import FingerprintError
+from repro.exceptions import FingerprintError, ServiceError
 from repro.service import serialize
 from repro.service.fingerprint import (
     FUNCTIONAL_WIDTH_LIMIT,
-    fingerprint,
+    KEY_PREFIX,
+    FingerprintRegistry,
     pair_key,
+    registry_for_config,
+    scheme_label,
 )
 
 __all__ = [
@@ -42,17 +45,27 @@ __all__ = [
     "DiskCache",
     "TieredCache",
     "build_cache",
+    "migrate_cache",
     "EngineCacheAdapter",
 ]
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters for one cache tier."""
+    """Hit/miss/store counters for one cache tier.
+
+    Attributes:
+        scheme_hits: hits broken down by the fingerprint scheme(s) of the
+            hitting key (``"exact"``, ``"probe"``, ``"structure"``, a
+            ``"a+b"`` mix, or ``"unversioned"`` for foreign keys) — how
+            the daemon's ``stats`` op reports where warm traffic comes
+            from per scheme.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    scheme_hits: dict[str, int] = field(default_factory=dict)
 
     @property
     def lookups(self) -> int:
@@ -84,12 +97,16 @@ class ResultCache(ABC):
         """Number of records currently stored."""
 
     def get(self, key: str) -> dict | None:
-        """Look up ``key``, updating the hit/miss statistics."""
+        """Look up ``key``, updating the hit/miss (and per-scheme) statistics."""
         record = self._get(key)
         if record is None:
             self.stats.misses += 1
         else:
             self.stats.hits += 1
+            label = scheme_label(key)
+            self.stats.scheme_hits[label] = (
+                self.stats.scheme_hits.get(label, 0) + 1
+            )
         return record
 
     def put(self, key: str, record: dict) -> None:
@@ -227,6 +244,49 @@ def build_cache(
     return TieredCache(memory, DiskCache(disk_dir))
 
 
+def migrate_cache(
+    directory: str | os.PathLike, *, drop_v1: bool = False
+) -> dict:
+    """Inventory (and optionally clean) a disk cache across key versions.
+
+    v1 entries can never be replayed under the v2 key contract — their
+    keys lack the ``v2|`` prefix, so every v2 lookup hashes to a
+    different filename and reads as a clean miss.  They only cost disk
+    space; this is the ``repro cache migrate`` maintenance path that
+    reclaims it.
+
+    Args:
+        directory: a :class:`DiskCache` backing directory.
+        drop_v1: delete every entry that is not a current-version record
+            (v1 keys and unreadable envelopes alike — neither can ever
+            hit again).
+
+    Returns:
+        Counters: ``{"v2": ..., "v1": ..., "unreadable": ..., "dropped": ...}``.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ServiceError(f"{directory}: not a cache directory")
+    counts = {"v2": 0, "v1": 0, "unreadable": 0, "dropped": 0}
+    for path in sorted(directory.glob("*.json")):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+            key = envelope.get("key") if isinstance(envelope, dict) else None
+        except (OSError, json.JSONDecodeError):
+            key = None
+            counts["unreadable"] += 1
+        else:
+            if isinstance(key, str) and key.startswith(KEY_PREFIX):
+                counts["v2"] += 1
+                continue
+            counts["v1"] += 1
+        if drop_v1:
+            path.unlink(missing_ok=True)
+            counts["dropped"] += 1
+    return counts
+
+
 @dataclass
 class EngineCacheAdapter:
     """Bridge a :class:`ResultCache` to the engine's ``result_cache`` hook.
@@ -235,16 +295,22 @@ class EngineCacheAdapter:
     :meth:`repro.core.engine.MatchingEngine.match_many`: fingerprints the
     pair, derives the :func:`~repro.service.fingerprint.pair_key`, and
     (de)serialises results at the boundary.  Unfingerprintable inputs
-    (opaque wide oracles) silently bypass the cache — correctness never
-    depends on a hit.
+    (opaque wide oracles under the ``exact`` scheme) silently bypass the
+    cache — correctness never depends on a hit.
 
     Attributes:
         cache: the backing store.
-        width_limit: functional-fingerprint width cutoff.
+        width_limit: functional-fingerprint width cutoff (only consulted
+            when no explicit registry is injected).
+        registry: the :class:`~repro.service.fingerprint.FingerprintRegistry`
+            keys are computed with; ``None`` derives one per lookup from
+            the config's fingerprint knobs (cheap — far below the cost of
+            the digests it computes).
     """
 
     cache: ResultCache
     width_limit: int = FUNCTIONAL_WIDTH_LIMIT
+    registry: FingerprintRegistry | None = None
 
     def __post_init__(self) -> None:
         # One-slot memo bridging the engine's lookup -> store round trip:
@@ -263,13 +329,12 @@ class EngineCacheAdapter:
         equivalence: EquivalenceType,
         config: MatchingConfig,
     ) -> str:
-        """The cache key this adapter uses for a pair (raises on opaque input)."""
-        fp1 = fingerprint(
-            circuit1, with_inverse=config.with_inverse, width_limit=self.width_limit
-        )
-        fp2 = fingerprint(
-            circuit2, with_inverse=config.with_inverse, width_limit=self.width_limit
-        )
+        """The cache key this adapter uses for a pair (raises on unsupported input)."""
+        registry = self.registry
+        if registry is None:
+            registry = registry_for_config(config, self.width_limit)
+        fp1 = registry.fingerprint(circuit1, with_inverse=config.with_inverse)
+        fp2 = registry.fingerprint(circuit2, with_inverse=config.with_inverse)
         return pair_key(fp1, fp2, equivalence, config)
 
     def _pending_key(

@@ -694,6 +694,10 @@ class MatchingDaemon:
                 "misses": stats.misses,
                 "stores": stats.stores,
                 "size": len(self._cache),
+                # Hits attributed to the fingerprint scheme(s) of the
+                # hitting key — the wire-visible evidence that warm wide
+                # traffic is served by probe identities, not re-execution.
+                "scheme_hits": dict(stats.scheme_hits),
             }
         else:
             cache_stats = None

@@ -61,7 +61,12 @@ from repro.service.executor import (
     SerialExecutor,
     derive_seed,
 )
-from repro.service.fingerprint import fingerprint, pair_key
+from repro.service.fingerprint import (
+    KEY_VERSION,
+    FingerprintRegistry,
+    pair_key,
+    registry_for_config,
+)
 from repro.service.workload import (
     MANIFEST_NAME,
     CorpusManifest,
@@ -392,6 +397,11 @@ class MatchingService:
             of every event by the consuming entry points
             (:meth:`run_manifest` / :meth:`match_pairs`; the raw
             :meth:`stream` generator leaves delivery to its caller).
+        fingerprint_registry: the
+            :class:`~repro.service.fingerprint.FingerprintRegistry` cache
+            keys and pair digests are computed with; defaults to the one
+            the config's ``fingerprint_scheme``/``probe_count`` knobs
+            describe.
     """
 
     def __init__(
@@ -402,12 +412,18 @@ class MatchingService:
         cache: ResultCache | None = None,
         verify: bool = False,
         observers: Sequence[Observer] = (),
+        fingerprint_registry: FingerprintRegistry | None = None,
     ) -> None:
         self._config = config if config is not None else MatchingConfig()
         self._executor = executor if executor is not None else SerialExecutor()
         self._cache = cache
         self._verify = verify
         self._observers = tuple(observers)
+        self._registry = (
+            fingerprint_registry
+            if fingerprint_registry is not None
+            else registry_for_config(self._config)
+        )
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -430,13 +446,22 @@ class MatchingService:
         """The observers registered at construction."""
         return self._observers
 
+    @property
+    def fingerprint_registry(self) -> FingerprintRegistry:
+        """The identity registry cache keys are computed with."""
+        return self._registry
+
     # -- internal --------------------------------------------------------------
     def _cache_key(self, unit: _Unit) -> str | None:
         if self._cache is None:
             return None
         try:
-            fp1 = fingerprint(unit.circuit1, with_inverse=self._config.with_inverse)
-            fp2 = fingerprint(unit.circuit2, with_inverse=self._config.with_inverse)
+            fp1 = self._registry.fingerprint(
+                unit.circuit1, with_inverse=self._config.with_inverse
+            )
+            fp2 = self._registry.fingerprint(
+                unit.circuit2, with_inverse=self._config.with_inverse
+            )
         except FingerprintError:
             return None
         equivalence = EquivalenceType.from_label(unit.label)
@@ -448,9 +473,25 @@ class MatchingService:
             "index": unit.position,
             "equivalence": unit.label,
             "cache_key": unit.key,
+            "key_version": KEY_VERSION,
         }
         record.update(unit.meta)
         return record
+
+    @staticmethod
+    def _replayable(done: dict[str, dict]) -> dict[str, dict]:
+        """The store records resume may trust: current key version only.
+
+        Records written under an older identity contract (v1 stores have
+        no ``key_version`` field) are treated as clean misses — the pair
+        is simply re-run — so a version bump can never replay a result
+        the current fingerprint scheme would not have produced.
+        """
+        return {
+            pair_id: record
+            for pair_id, record in done.items()
+            if record.get("key_version") == KEY_VERSION
+        }
 
     def _stream_units(
         self,
@@ -727,7 +768,11 @@ class MatchingService:
                 raise ServiceError(f"invalid shard {index}/{count}")
 
         store = ResultStore(store_path) if store_path is not None else None
-        done = store.load() if (resume and store is not None) else {}
+        done = (
+            self._replayable(store.load())
+            if (resume and store is not None)
+            else {}
+        )
         units = self._manifest_units(manifest, root, done, shard)
         return self._stream_units(
             units, done=done, store=store, seed=seed, shard=shard
@@ -763,21 +808,22 @@ class MatchingService:
             observers,
         )
 
-    @staticmethod
-    def _pair_digest(circuit1, circuit2, label: str) -> str | None:
+    def _pair_digest(self, circuit1, circuit2, label: str) -> str | None:
         """A content digest identifying an ad-hoc pair, or None if opaque.
 
         Positional ``pair-NNNN`` ids alone would let a resume against a
         store written for *different* pairs replay the wrong results;
         records carry this digest so resume can insist the content
-        matches, not just the position.
+        matches, not just the position.  The payload is versioned (and
+        scheme-qualified, via the fingerprint keys), so stores written
+        under a different identity contract never digest-match.
         """
         try:
-            fp1 = fingerprint(circuit1)
-            fp2 = fingerprint(circuit2)
+            fp1 = self._registry.fingerprint(circuit1)
+            fp2 = self._registry.fingerprint(circuit2)
         except FingerprintError:
             return None
-        payload = f"{label}|{fp1.digest}|{fp2.digest}"
+        payload = f"{KEY_VERSION}|{label}|{fp1.key}|{fp2.key}"
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def _pair_units(
@@ -859,7 +905,11 @@ class MatchingService:
             pairs, equivalence, with_digests=store_path is not None
         )
         store = ResultStore(store_path) if store_path is not None else None
-        done = store.load() if (resume and store is not None) else {}
+        done = (
+            self._replayable(store.load())
+            if (resume and store is not None)
+            else {}
+        )
         if done:
             digests = {
                 unit.pair_id: unit.meta.get("pair_digest") for unit in units

@@ -18,6 +18,16 @@ actually equivalent.  Three families cover the scenario space:
   :class:`~repro.exceptions.PromiseViolationError` or return witnesses
   that fail verification, and ``expected_equivalent: false`` in the
   manifest records which outcome is the honest one.
+* ``wide`` — 16–24-line pairs over the library functions, beyond the
+  exact-fingerprint width limit, so corpora exercise the sampled-probe
+  identity path end to end.  Odd-indexed entries are near-miss variants
+  whose transposition is placed *on the probe set* (the perturbed output
+  is the image of the first probe input), so probe digests are
+  guaranteed to distinguish them at any probe count — the adversarial
+  regime the probabilistic scheme is documented against.  Only the
+  classically easy classes are generated (:func:`wide_classes`):
+  quantum matchers tabulate ``2**n`` amplitudes, which is exactly what
+  wide workloads must avoid.
 
 Generation is deterministic: every pair derives its own seed from the
 corpus seed and its identifier, so the same arguments reproduce the same
@@ -45,9 +55,13 @@ __all__ = [
     "MANIFEST_FORMAT",
     "MANIFEST_NAME",
     "DEFAULT_FAMILIES",
+    "KNOWN_FAMILIES",
+    "WIDE_MIN_LINES",
+    "WIDE_MAX_LINES",
     "CorpusEntry",
     "CorpusManifest",
     "tractable_classes",
+    "wide_classes",
     "generate_corpus",
     "load_entry_circuits",
 ]
@@ -55,6 +69,14 @@ __all__ = [
 MANIFEST_FORMAT = "repro-corpus/v1"
 MANIFEST_NAME = "manifest.json"
 DEFAULT_FAMILIES = ("random", "library", "adversarial")
+#: Every family ``generate_corpus`` accepts; ``wide`` is opt-in because
+#: its pairs dwarf the default 4-line corpora.
+KNOWN_FAMILIES = DEFAULT_FAMILIES + ("wide",)
+
+#: Width range of the ``wide`` family — past the exact-fingerprint limit,
+#: where only sampled-probe identities can key the cache.
+WIDE_MIN_LINES = 16
+WIDE_MAX_LINES = 24
 
 
 @dataclass(frozen=True)
@@ -189,6 +211,18 @@ def tractable_classes() -> tuple[EquivalenceType, ...]:
     return tuple(eq for eq in EquivalenceType if classify(eq) in allowed)
 
 
+def wide_classes() -> tuple[EquivalenceType, ...]:
+    """The classes the ``wide`` family generates: classically easy only.
+
+    The quantum-easy classes simulate ``2**n``-amplitude statevectors,
+    which is unaffordable at 16–24 lines; the classical matchers of these
+    classes spend a polynomial number of queries, each one circuit
+    simulation, so wide pairs stay cheap to match.
+    """
+    allowed = (Hardness.TRIVIAL, Hardness.CLASSICAL_EASY)
+    return tuple(eq for eq in EquivalenceType if classify(eq) in allowed)
+
+
 def _entry_seed(corpus_seed: int, pair_id: str) -> int:
     digest = hashlib.sha256(f"{corpus_seed}:{pair_id}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
@@ -214,6 +248,33 @@ def _transposition_gate(
     return MCTGate(controls, target)
 
 
+def _probe_aligned_transposition(
+    circuit: ReversibleCircuit, rng: _random.Random
+) -> MCTGate:
+    """A transposition that perturbs the circuit *on the probe set*.
+
+    Appending a random transposition to a 16-line circuit would change 2
+    of the 65536 truth-table entries — all but invisible to a sampled
+    probe digest.  The wide family's near-misses instead aim the
+    transposition at the image of the **first probe input**: the
+    perturbed circuit's output at that probe flips, so probe fingerprints
+    distinguish the near-miss from the original at *any* probe count.
+    """
+    # Deferred import: fingerprint is a sibling service module and the
+    # probe set is its contract; workload only consumes it.
+    from repro.service.fingerprint import probe_inputs
+
+    num_lines = circuit.num_lines
+    image = circuit.simulate(probe_inputs(num_lines, 1)[0])
+    target = rng.randrange(num_lines)
+    controls = tuple(
+        Control(line, bool((image >> line) & 1))
+        for line in range(num_lines)
+        if line != target
+    )
+    return MCTGate(controls, target)
+
+
 def _build_pair(
     family: str,
     equivalence: EquivalenceType,
@@ -222,6 +283,18 @@ def _build_pair(
     rng: _random.Random,
 ) -> tuple[ReversibleCircuit, ReversibleCircuit, bool]:
     """Build ``(circuit1, circuit2, expected_equivalent)`` for one entry."""
+    if family == "wide":
+        # Width varies across 16..24 (even, so the adder/multiplier
+        # library entries participate); odd indices are near-miss
+        # variants perturbed on the probe set.
+        span = (WIDE_MAX_LINES - WIDE_MIN_LINES) // 2 + 1
+        width = WIDE_MIN_LINES + 2 * rng.randrange(span)
+        base = _library_base(width, index)
+        circuit1, circuit2, _ = make_instance(base, equivalence, rng)
+        if index % 2 == 1:
+            circuit1.append(_probe_aligned_transposition(circuit1, rng))
+            return circuit1, circuit2, False
+        return circuit1, circuit2, True
     if family == "library":
         base = _library_base(num_lines, index)
     else:
@@ -246,11 +319,14 @@ def generate_corpus(
 
     Args:
         out_dir: directory to create/populate (circuit files + manifest).
-        num_lines: bit width of every pair.
+        num_lines: bit width of every pair (except the ``wide`` family,
+            which draws its own 16–24-line widths and records them per
+            entry).
         classes: equivalence classes to cover; defaults to
-            :func:`tractable_classes`.
+            :func:`tractable_classes` (the ``wide`` family additionally
+            restricts itself to :func:`wide_classes`).
         families: problem families to draw from (subset of
-            :data:`DEFAULT_FAMILIES`).
+            :data:`KNOWN_FAMILIES`; ``wide`` is opt-in).
         pairs_per_class: pairs per (family, class) cell.
         seed: corpus seed; ``None`` draws one (the manifest records it, so
             every corpus is reproducible after the fact).
@@ -259,10 +335,10 @@ def generate_corpus(
         The manifest, already saved to ``out_dir/manifest.json``.
     """
     for family in families:
-        if family not in DEFAULT_FAMILIES:
+        if family not in KNOWN_FAMILIES:
             raise ServiceError(
                 f"unknown workload family {family!r}; "
-                f"known: {', '.join(DEFAULT_FAMILIES)}"
+                f"known: {', '.join(KNOWN_FAMILIES)}"
             )
     if "adversarial" in families and num_lines < 2:
         # On one line the "transposition" degenerates to a bare NOT gate,
@@ -285,7 +361,13 @@ def generate_corpus(
 
     entries: list[CorpusEntry] = []
     for family in families:
-        for equivalence in classes:
+        family_classes = classes
+        if family == "wide":
+            # Wide pairs only exist for the classically easy classes;
+            # other requested classes simply contribute no wide cells.
+            allowed = set(wide_classes())
+            family_classes = tuple(eq for eq in classes if eq in allowed)
+        for equivalence in family_classes:
             for index in range(pairs_per_class):
                 label = equivalence.label.lower()
                 pair_id = f"{family}-{label}-{index:03d}"
@@ -305,7 +387,9 @@ def generate_corpus(
                         circuit2=file2,
                         equivalence=equivalence.label,
                         family=family,
-                        num_lines=num_lines,
+                        # The wide family picks its own (wider) widths;
+                        # the entry records what was actually built.
+                        num_lines=circuit1.num_lines,
                         expected_equivalent=expected,
                         seed=entry_seed,
                     )

@@ -4,17 +4,23 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
+from repro.circuits import library
 from repro.circuits.random import random_circuit
 from repro.core.engine import MatchingConfig, MatchingEngine
 from repro.core.equivalence import EquivalenceType
 from repro.core.verify import make_instance
+from repro.exceptions import ServiceError
 from repro.service.cache import (
     DiskCache,
     EngineCacheAdapter,
     LRUCache,
     TieredCache,
     build_cache,
+    migrate_cache,
 )
+from repro.service.fingerprint import build_registry
 from repro.service.serialize import result_to_dict
 
 
@@ -167,3 +173,109 @@ class TestEngineCacheAdapter:
         ]
         assert "from cache" in warm.summary()
         assert "cached" in warm.to_table()
+
+    def test_wide_pair_is_cacheable_via_probe_fingerprints(self, rng):
+        """v1 stranded wide pairs on structural identity; the probe tier
+        keys them functionally, so a resynthesised representation hits."""
+        circuit = library.increment(16)
+        adapter = EngineCacheAdapter(LRUCache())
+        config = MatchingConfig()
+        key = adapter.key_for(circuit, circuit, EquivalenceType.I_I, config)
+        assert ":probe:" in key
+        # A structurally different but functionally equal representation
+        # computes the same key — the hit v1 could never produce.
+        twin = circuit.copy()
+        gate = random_circuit(16, 1, rng).gates[0]
+        twin.append(gate)
+        twin.append(gate)  # self-inverse: applied twice == identity
+        assert (
+            adapter.key_for(twin, twin, EquivalenceType.I_I, config) == key
+        )
+
+    def test_injected_registry_overrides_the_config(self, rng):
+        circuit = random_circuit(4, 8, rng)
+        config = MatchingConfig()  # auto: 4 lines would be exact
+        adapter = EngineCacheAdapter(
+            LRUCache(), registry=build_registry("probe")
+        )
+        key = adapter.key_for(circuit, circuit, EquivalenceType.I_I, config)
+        assert ":probe:" in key
+
+
+class TestSchemeHitCounters:
+    def test_hits_are_attributed_per_scheme(self, rng):
+        cache = LRUCache()
+        narrow = random_circuit(4, 8, rng)
+        wide = library.increment(16)
+        adapter = EngineCacheAdapter(cache)
+        config = MatchingConfig()
+        exact_key = adapter.key_for(narrow, narrow, EquivalenceType.I_I, config)
+        probe_key = adapter.key_for(wide, wide, EquivalenceType.I_I, config)
+        for key in (exact_key, probe_key):
+            cache.put(key, _record("x"))
+            cache.get(key)
+            cache.get(key)
+        cache.get("not a versioned key")  # miss: no scheme attribution
+        assert cache.stats.scheme_hits == {"exact": 2, "probe": 2}
+        assert cache.stats.hits == 4 and cache.stats.misses == 1
+
+    def test_foreign_keys_count_as_unversioned(self):
+        cache = LRUCache()
+        cache.put("v1-style-key", _record("x"))
+        cache.get("v1-style-key")
+        assert cache.stats.scheme_hits == {"unversioned": 1}
+
+
+class TestMigrateCache:
+    def _plant_v1(self, directory, name="00aa.json"):
+        path = directory / name
+        path.write_text(
+            json.dumps(
+                {
+                    "key": "I-P|4:function:fwd:ab|4:function:fwd:ab|0123",
+                    "record": _record("v1"),
+                }
+            )
+        )
+        return path
+
+    def test_v1_entries_are_clean_misses_for_v2_lookups(self, tmp_path, rng):
+        disk = DiskCache(tmp_path)
+        self._plant_v1(tmp_path)
+        adapter = EngineCacheAdapter(disk)
+        circuit = random_circuit(4, 8, rng)
+        assert (
+            adapter.lookup(circuit, circuit, EquivalenceType.I_P, MatchingConfig())
+            is None
+        )
+
+    def test_migrate_counts_by_version(self, tmp_path, rng):
+        disk = DiskCache(tmp_path)
+        adapter = EngineCacheAdapter(disk)
+        circuit = random_circuit(4, 8, rng)
+        config = MatchingConfig()
+        key = adapter.key_for(circuit, circuit, EquivalenceType.I_P, config)
+        disk.put(key, _record("v2"))
+        self._plant_v1(tmp_path)
+        (tmp_path / "junk.json").write_text("{not json")
+        counts = migrate_cache(tmp_path)
+        assert counts == {"v2": 1, "v1": 1, "unreadable": 1, "dropped": 0}
+        assert len(disk) == 3  # a dry run deletes nothing
+
+    def test_drop_v1_deletes_only_stale_entries(self, tmp_path, rng):
+        disk = DiskCache(tmp_path)
+        adapter = EngineCacheAdapter(disk)
+        circuit = random_circuit(4, 8, rng)
+        config = MatchingConfig()
+        key = adapter.key_for(circuit, circuit, EquivalenceType.I_P, config)
+        disk.put(key, _record("v2"))
+        self._plant_v1(tmp_path)
+        (tmp_path / "junk.json").write_text("{not json")
+        counts = migrate_cache(tmp_path, drop_v1=True)
+        assert counts["dropped"] == 2
+        assert len(disk) == 1
+        assert disk.get(key) == _record("v2")  # current entries survive
+
+    def test_missing_directory_is_an_error(self, tmp_path):
+        with pytest.raises(ServiceError):
+            migrate_cache(tmp_path / "nope")

@@ -190,6 +190,33 @@ class TestSharedCache:
         assert len(records) == 2
         assert all(record["status"] == "cached" for record in records.values())
 
+    def test_wide_resubmission_spends_zero_queries(self, daemon, tmp_path):
+        """The PR-5 acceptance criterion at the daemon layer: a warm
+        resubmission of a *wide* (>= 16-line) corpus — keyed by sampled
+        probe fingerprints, since exact tabulation is unaffordable —
+        executes nothing, and the stats op attributes the hits to the
+        probe scheme on the wire."""
+        wide = tmp_path / "wide"
+        generate_corpus(
+            wide,
+            families=("wide",),
+            classes=(EquivalenceType.I_P, EquivalenceType.P_I),
+            pairs_per_class=1,
+            seed=23,
+        )
+        with client_for(daemon) as client:
+            first = client.submit(wide, seed=7)
+            assert client.watch(first["run_id"]) == RunState.COMPLETED
+            second = client.submit(wide, seed=7)
+            assert client.watch(second["run_id"]) == RunState.COMPLETED
+            summary = client.status(second["run_id"])["run"]["summary"]
+            stats = client.stats()
+        assert summary["executed"] == 0
+        assert summary["cache_hits"] == summary["total"] == 2
+        scheme_hits = stats["cache"]["scheme_hits"]
+        assert scheme_hits.get("probe", 0) >= 2
+        assert "unversioned" not in scheme_hits
+
     def test_cache_shared_across_clients_and_submission_kinds(
         self, daemon, corpus
     ):

@@ -1,9 +1,15 @@
-"""Unit tests for canonical oracle fingerprints."""
+"""Unit tests for the versioned fingerprint registry and its strategies."""
 
 from __future__ import annotations
 
+import dataclasses
+import subprocess
+import sys
+
 import pytest
 
+from repro.circuits import library
+from repro.circuits.gates import Control, MCTGate
 from repro.circuits.library import from_permutation
 from repro.circuits.permutation import Permutation
 from repro.circuits.random import random_circuit
@@ -13,11 +19,29 @@ from repro.exceptions import FingerprintError
 from repro.oracles.oracle import CircuitOracle, FunctionOracle, PermutationOracle
 from repro.quantum.oracle import QuantumCircuitOracle
 from repro.service.fingerprint import (
+    DEFAULT_PROBE_COUNT,
+    FUNCTIONAL_WIDTH_LIMIT,
+    KEY_PREFIX,
     OracleFingerprint,
+    SampledProbeFingerprinter,
+    StructureFingerprinter,
+    TruthTableFingerprinter,
+    build_registry,
     config_digest,
+    default_registry,
     fingerprint,
     pair_key,
+    pair_key_schemes,
+    probe_inputs,
+    registry_for_config,
+    scheme_label,
 )
+
+WIDE = 16  # past FUNCTIONAL_WIDTH_LIMIT, cheap enough to tabulate in tests
+
+
+def wide_circuit(width: int = WIDE):
+    return library.increment(width)
 
 
 class TestFunctionalFingerprints:
@@ -26,6 +50,7 @@ class TestFunctionalFingerprints:
         fp_table = fingerprint(Permutation.from_circuit(small_random_circuit))
         assert fp_circuit == fp_table
         assert fp_circuit.kind == "function"
+        assert fp_circuit.scheme == "exact"
 
     def test_resynthesised_circuit_collides(self, rng):
         circuit = random_circuit(3, 10, rng)
@@ -72,39 +97,204 @@ class TestOracleDispatch:
         assert fp.kind == "function"
         assert oracle.query_count == 0
 
-    def test_opaque_wide_oracle_raises(self):
+    def test_opaque_wide_oracle_raises_under_exact(self):
+        registry = build_registry("exact", width_limit=8)
         oracle = FunctionOracle(lambda value: value, 20)
         with pytest.raises(FingerprintError):
-            fingerprint(oracle, width_limit=8)
+            registry.fingerprint(oracle)
 
     def test_unsupported_type_raises(self):
         with pytest.raises(FingerprintError):
             fingerprint(object())
 
 
-class TestStructuralFallback:
-    def test_wide_circuit_falls_back_to_structure(self, rng):
-        circuit = random_circuit(6, 10, rng)
-        fp = fingerprint(circuit, width_limit=4)
-        assert fp.kind == "structure"
+class TestRegistryResolution:
+    def test_auto_is_exact_below_the_limit(self, small_random_circuit):
+        registry = default_registry()
+        assert registry.resolve(small_random_circuit).scheme == "exact"
 
-    def test_structural_miss_never_wrong_hit(self, rng):
-        # Functionally equal but structurally different circuits get
-        # *different* structural fingerprints: a cache miss, not a wrong hit.
-        circuit = random_circuit(3, 8, rng)
-        resynthesis = from_permutation(Permutation.from_circuit(circuit))
-        fp1 = fingerprint(circuit, width_limit=1)
-        fp2 = fingerprint(resynthesis, width_limit=1)
-        assert fp1 != fp2
+    def test_auto_is_probe_above_the_limit(self):
+        registry = default_registry()
+        assert registry.resolve(wide_circuit()).scheme == "probe"
+        fp = registry.fingerprint(wide_circuit())
+        assert fp.kind == "probe"
 
-    def test_identical_structure_collides(self, rng):
-        circuit = random_circuit(5, 12, rng)
-        assert fingerprint(circuit, width_limit=1) == fingerprint(
-            circuit.copy(), width_limit=1
+    def test_probe_mode_probes_at_every_width(self, small_random_circuit):
+        registry = build_registry("probe")
+        assert registry.fingerprint(small_random_circuit).scheme == "probe"
+        assert registry.fingerprint(wide_circuit()).scheme == "probe"
+
+    def test_exact_mode_falls_back_to_structure(self):
+        registry = build_registry("exact")
+        assert registry.fingerprint(wide_circuit()).scheme == "structure"
+
+    def test_auto_without_probes_restores_v1_fallback(self):
+        registry = build_registry("auto", probe_count=0)
+        assert registry.fingerprint(wide_circuit()).scheme == "structure"
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(FingerprintError):
+            build_registry("telepathy")
+
+    def test_resolution_order_follows_cost_rank(self):
+        registry = build_registry("auto")
+        ranks = [entry.cost_rank for entry in registry.fingerprinters]
+        assert ranks == sorted(ranks)
+        assert [entry.scheme for entry in registry.fingerprinters] == [
+            "exact",
+            "probe",
+            "structure",
+        ]
+
+    def test_registry_for_config_reads_the_knobs(self):
+        registry = registry_for_config(
+            MatchingConfig(fingerprint_scheme="probe", probe_count=7)
         )
+        (probe,) = registry.fingerprinters
+        assert isinstance(probe, SampledProbeFingerprinter)
+        assert probe.probe_count == 7
+        # Every call builds a fresh registry, so registering a custom
+        # strategy on one can never change another consumer's keys.
+        other = registry_for_config(
+            MatchingConfig(fingerprint_scheme="probe", probe_count=7)
+        )
+        assert other is not registry
+        assert default_registry() is not default_registry()
+
+    def test_custom_strategy_can_shadow_the_builtins(self, small_random_circuit):
+        class NullFingerprinter(StructureFingerprinter):
+            name = "null"
+            scheme = "null"
+            cost_rank = 1
+
+            def supports(self, target) -> bool:
+                return True
+
+            def fingerprint(self, target, ctx):
+                return OracleFingerprint(0, "null", "0" * 64, scheme="null")
+
+        registry = build_registry("auto")
+        registry.register(NullFingerprinter())
+        assert registry.fingerprint(small_random_circuit).scheme == "null"
+
+
+class TestProbeInputs:
+    def test_deterministic_and_in_range(self):
+        first = probe_inputs(18, 32)
+        again = probe_inputs(18, 32)
+        assert first == again
+        assert len(first) == 32
+        assert all(0 <= value < (1 << 18) for value in first)
+
+    def test_prefix_stability(self):
+        # Counter-mode derivation: a larger probe budget extends, never
+        # reshuffles, the set — what lets the wide near-miss generator pin
+        # its perturbation to the first probe for any probe count.
+        assert probe_inputs(20, 64)[:8] == probe_inputs(20, 8)
+
+    def test_width_and_salt_change_the_set(self):
+        assert probe_inputs(16, 8) != probe_inputs(17, 8)
+        assert probe_inputs(16, 8) != probe_inputs(16, 8, salt="other")
+
+    def test_positive_count_required(self):
+        with pytest.raises(FingerprintError):
+            probe_inputs(4, 0)
+        with pytest.raises(FingerprintError):
+            SampledProbeFingerprinter(probe_count=0)
+
+
+class TestProbeSoundness:
+    """The satellite criteria: canonical across representations,
+    distinct for probe-aligned near-misses, identical across processes."""
+
+    def test_equal_wide_representations_collide(self):
+        circuit = wide_circuit()
+        # A structurally different but functionally identical circuit:
+        # the same cascade with a self-inverse gate applied twice.
+        resynthesis = circuit.copy()
+        gate = MCTGate((Control(0, True), Control(1, True)), 2)
+        resynthesis.append(gate)
+        resynthesis.append(gate)
+        assert circuit.gates != resynthesis.gates
+        # ... and the tabulated permutation, behind an opaque oracle.
+        permutation = Permutation.from_circuit(circuit)
+        oracle = PermutationOracle(permutation)
+
+        registry = build_registry("probe")
+        fps = {
+            registry.fingerprint(target).digest
+            for target in (circuit, resynthesis, permutation, oracle)
+        }
+        assert len(fps) == 1
+        assert oracle.query_count == 0  # probed via peek, not query
+
+    def test_opaque_wide_oracle_is_fingerprintable(self):
+        circuit = wide_circuit()
+        opaque = FunctionOracle(circuit.simulate, circuit.num_lines)
+        fp = default_registry().fingerprint(opaque)
+        assert fp.scheme == "probe"
+        assert fp.digest == default_registry().fingerprint(circuit).digest
+        assert opaque.query_count == 0
+
+    def test_probe_aligned_near_miss_gets_a_distinct_digest(self):
+        circuit = wide_circuit()
+        probed = probe_inputs(circuit.num_lines, 1)[0]
+        image = circuit.simulate(probed)
+        near_miss = circuit.copy()
+        near_miss.append(
+            MCTGate(
+                tuple(
+                    Control(line, bool((image >> line) & 1))
+                    for line in range(1, circuit.num_lines)
+                ),
+                0,
+            )
+        )
+        # Exactly two truth-table entries differ...
+        assert near_miss.simulate(probed) != image
+        registry = build_registry("probe")
+        # ...and the first probe sees one of them, at any probe count.
+        for count in (1, DEFAULT_PROBE_COUNT):
+            tuned = build_registry("probe", probe_count=count)
+            assert (
+                tuned.fingerprint(circuit).digest
+                != tuned.fingerprint(near_miss).digest
+            )
+        assert (
+            registry.fingerprint(circuit).digest
+            != registry.fingerprint(near_miss).digest
+        )
+
+    def test_probe_count_is_part_of_the_digest(self):
+        circuit = wide_circuit()
+        few = build_registry("probe", probe_count=8).fingerprint(circuit)
+        many = build_registry("probe", probe_count=16).fingerprint(circuit)
+        assert few.digest != many.digest  # a miss across budgets, never a hit
+
+    def test_probe_digest_is_deterministic_across_processes(self):
+        script = (
+            "from repro.circuits import library\n"
+            "from repro.service.fingerprint import build_registry\n"
+            f"fp = build_registry('probe').fingerprint(library.increment({WIDE}))\n"
+            "print(fp.key)"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        local = build_registry("probe").fingerprint(wide_circuit())
+        assert result.stdout.strip() == local.key
 
 
 class TestPairKey:
+    def test_key_is_versioned(self, small_random_circuit):
+        fp = fingerprint(small_random_circuit)
+        key = pair_key(fp, fp, EquivalenceType.N_I, MatchingConfig())
+        assert key.startswith(KEY_PREFIX)
+        assert fp.key.startswith("fp/v2:")
+
     def test_key_distinguishes_policy_and_class(self, small_random_circuit):
         fp = fingerprint(small_random_circuit)
         base = MatchingConfig()
@@ -114,18 +304,77 @@ class TestPairKey:
             pair_key(fp, fp, EquivalenceType.NP_I, MatchingConfig(epsilon=0.5)),
             pair_key(fp, fp, EquivalenceType.NP_I, MatchingConfig(allow_quantum=False)),
             pair_key(fp, fp, EquivalenceType.NP_I, MatchingConfig(max_queries=7)),
+            pair_key(fp, fp, EquivalenceType.NP_I, MatchingConfig(probe_count=9)),
+            pair_key(
+                fp, fp, EquivalenceType.NP_I, MatchingConfig(fingerprint_scheme="probe")
+            ),
         }
-        assert len(keys) == 5
+        assert len(keys) == 7
 
     def test_key_is_stable_across_processes(self):
         # Pure function of its inputs — no id()s, no hash randomisation.
         fp = OracleFingerprint(num_lines=4, kind="function", digest="ab" * 32)
         key = pair_key(fp, fp, EquivalenceType.I_P, MatchingConfig())
         assert key == pair_key(fp, fp, EquivalenceType.I_P, MatchingConfig())
-        assert key.startswith("I-P|4:function:fwd:")
+        assert key.startswith("v2|I-P|fp/v2:4:exact:function:fwd:")
 
-    def test_config_digest_stability(self):
+    def test_scheme_parsing(self):
+        exact = OracleFingerprint(4, "function", "ab" * 32, scheme="exact")
+        probe = OracleFingerprint(16, "probe", "cd" * 32, scheme="probe")
+        key = pair_key(exact, probe, EquivalenceType.I_P, MatchingConfig())
+        assert pair_key_schemes(key) == ("exact", "probe")
+        assert scheme_label(key) == "exact+probe"
+        same = pair_key(probe, probe, EquivalenceType.I_P, MatchingConfig())
+        assert scheme_label(same) == "probe"
+        # v1 keys (no version prefix) are foreign.
+        assert pair_key_schemes("I-P|4:function:fwd:ab|4:function:fwd:ab|x") is None
+        assert scheme_label("anything else") == "unversioned"
+
+
+class TestConfigDigest:
+    def test_stability(self):
         assert config_digest(MatchingConfig()) == config_digest(MatchingConfig())
         assert config_digest(MatchingConfig()) != config_digest(
             MatchingConfig(with_inverse=True)
         )
+
+    def test_every_field_reaches_the_digest(self):
+        """The asdict derivation makes omitting a config field impossible."""
+        base = MatchingConfig()
+        changed = {
+            "epsilon": 0.5,
+            "allow_quantum": False,
+            "allow_brute_force": True,
+            "with_inverse": True,
+            "max_queries": 123,
+            "fingerprint_scheme": "probe",
+            "probe_count": 5,
+        }
+        fields = {field.name for field in dataclasses.fields(MatchingConfig)}
+        assert fields == set(changed)  # grow this test with the config
+        for name, value in changed.items():
+            variant = dataclasses.replace(base, **{name: value})
+            assert config_digest(variant) != config_digest(base), name
+
+
+class TestWidthLimitCompatibility:
+    def test_wide_circuit_past_custom_limit_probes(self, rng):
+        circuit = random_circuit(6, 10, rng)
+        fp = fingerprint(circuit, width_limit=4)
+        assert fp.kind == "probe"
+
+    def test_identical_structure_collides(self, rng):
+        circuit = random_circuit(5, 12, rng)
+        registry = build_registry("exact", width_limit=1)
+        assert registry.fingerprint(circuit) == registry.fingerprint(circuit.copy())
+
+    def test_structural_miss_never_wrong_hit(self, rng):
+        # Functionally equal but structurally different circuits get
+        # *different* structural fingerprints: a cache miss, not a wrong hit.
+        circuit = random_circuit(3, 8, rng)
+        resynthesis = from_permutation(Permutation.from_circuit(circuit))
+        registry = build_registry("exact", width_limit=1)
+        assert registry.fingerprint(circuit) != registry.fingerprint(resynthesis)
+
+    def test_default_limit_is_fourteen(self):
+        assert FUNCTIONAL_WIDTH_LIMIT == 14

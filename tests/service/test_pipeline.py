@@ -459,3 +459,112 @@ class TestStreamPairs:
         circuit = random_circuit(3, 6, rng)
         with pytest.raises(ServiceError, match="resume requires"):
             MatchingService().stream_pairs([(circuit, circuit, "I-I")], resume=True)
+
+
+class TestWideWarmCache:
+    """The PR-5 acceptance criterion: warm matching past 14 lines.
+
+    The wide corpus pairs are 16-24 lines — beyond the exact-fingerprint
+    limit, where v1 identity went structural and a fresh process could
+    never warm-hit.  Sampled-probe fingerprints key them functionally.
+    """
+
+    @pytest.fixture(scope="class")
+    def wide_corpus(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("wide_corpus")
+        generate_corpus(root, families=("wide",), pairs_per_class=1, seed=21)
+        return root
+
+    def test_fresh_service_warm_rerun_spends_zero_queries(
+        self, wide_corpus, monkeypatch
+    ):
+        cache = build_cache()
+        cold = MatchingService(cache=cache).run_manifest(wide_corpus, seed=5)
+        assert cold.executed == cold.total > 0
+
+        def forbidden(self, *args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("warm wide run touched an oracle")
+
+        monkeypatch.setattr(ReversibleOracle, "query", forbidden)
+        monkeypatch.setattr(ReversibleOracle, "query_inverse", forbidden)
+        monkeypatch.setattr(QuantumCircuitOracle, "query_state", forbidden)
+        monkeypatch.setattr(QuantumCircuitOracle, "query_basis", forbidden)
+        # A *fresh* service: every circuit is a different Python object,
+        # so the hits are earned by probe identity, not object identity.
+        warm = MatchingService(cache=cache).run_manifest(wide_corpus, seed=5)
+        assert warm.executed == 0 and warm.cache_hits == warm.total
+        assert warm.classical_queries == 0 and warm.quantum_queries == 0
+        assert set(cache.stats.scheme_hits) == {"probe"}
+
+    def test_wide_records_key_on_probe_scheme(self, wide_corpus):
+        service = MatchingService(cache=build_cache())
+        report = service.run_manifest(wide_corpus, seed=5)
+        for record in report.records:
+            assert ":probe:" in record["cache_key"]
+
+    def test_injected_registry_overrides_config(self, corpus):
+        from repro.service.fingerprint import build_registry
+
+        cache = build_cache()
+        service = MatchingService(
+            cache=cache, fingerprint_registry=build_registry("probe")
+        )
+        report = service.run_manifest(corpus, seed=5)
+        # Even 4-line pairs key on probe digests under the injected registry.
+        for record in report.records:
+            assert ":probe:" in record["cache_key"]
+        assert service.fingerprint_registry.fingerprinters[0].scheme == "probe"
+
+
+class TestKeyVersioning:
+    """v1 cache/store entries must read as clean misses, never v2 hits."""
+
+    def test_records_carry_the_key_version(self, corpus, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        MatchingService().run_manifest(corpus, store_path=store_path, seed=5)
+        records = ResultStore(store_path).load()
+        assert records
+        for record in records.values():
+            assert record["key_version"] == "v2"
+
+    @staticmethod
+    def _strip_versions(store_path):
+        """Rewrite a store as a v1 process would have written it."""
+        lines = []
+        for line in store_path.read_text().splitlines():
+            record = json.loads(line)
+            record.pop("key_version", None)
+            lines.append(json.dumps(record))
+        store_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    def test_v1_store_records_are_not_resumed(self, corpus, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        MatchingService().run_manifest(corpus, store_path=store_path, seed=5)
+        self._strip_versions(store_path)
+        report = MatchingService().run_manifest(
+            corpus, store_path=store_path, resume=True, seed=5
+        )
+        # Every pair re-ran: a version bump means the stored results may
+        # have been produced under a different identity contract.
+        assert report.resumed == 0
+        assert report.executed == report.total
+
+    def test_v1_pair_store_records_are_not_resumed(self, rng, tmp_path):
+        base = random_circuit(4, 12, rng)
+        pairs = [make_instance(base, EquivalenceType.I_P, rng)[:2] for _ in range(2)]
+        store_path = tmp_path / "pairs.jsonl"
+        service = MatchingService()
+        list(
+            service.stream_pairs(
+                pairs, equivalence="I-P", seed=2, store_path=store_path
+            )
+        )
+        self._strip_versions(store_path)
+        events = list(
+            service.stream_pairs(
+                pairs, equivalence="I-P", seed=2,
+                store_path=store_path, resume=True,
+            )
+        )
+        report = [e for e in events if isinstance(e, RunCompleted)][0].report
+        assert report.resumed == 0 and report.executed == 2

@@ -4,14 +4,20 @@ from __future__ import annotations
 
 import pytest
 
+from repro.circuits.circuit import ReversibleCircuit
 from repro.core.equivalence import EquivalenceType, Hardness, classify
 from repro.exceptions import ServiceError
+from repro.service.fingerprint import build_registry
 from repro.service.workload import (
     DEFAULT_FAMILIES,
+    KNOWN_FAMILIES,
+    WIDE_MAX_LINES,
+    WIDE_MIN_LINES,
     CorpusManifest,
     generate_corpus,
     load_entry_circuits,
     tractable_classes,
+    wide_classes,
 )
 
 
@@ -106,6 +112,75 @@ class TestGenerateCorpus:
         generate_corpus(
             tmp_path, num_lines=1, families=("random",), seed=1
         )  # other families are fine on one line
+
+
+class TestWideFamily:
+    @pytest.fixture(scope="class")
+    def wide(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("wide")
+        manifest = generate_corpus(
+            root, families=("wide",), pairs_per_class=2, seed=13
+        )
+        return root, manifest
+
+    def test_wide_is_a_known_optin_family(self):
+        assert "wide" in KNOWN_FAMILIES
+        assert "wide" not in DEFAULT_FAMILIES
+
+    def test_entries_are_wide_and_classically_easy(self, wide):
+        _, manifest = wide
+        assert manifest.entries
+        for entry in manifest.entries:
+            assert entry.family == "wide"
+            assert WIDE_MIN_LINES <= entry.num_lines <= WIDE_MAX_LINES
+            assert classify(EquivalenceType.from_label(entry.equivalence)) in (
+                Hardness.TRIVIAL,
+                Hardness.CLASSICAL_EASY,
+            )
+        # Default (tractable) classes are silently narrowed to the wide set.
+        labels = {entry.equivalence for entry in manifest.entries}
+        assert labels == {eq.label for eq in wide_classes()}
+
+    def test_circuit_files_match_the_recorded_widths(self, wide):
+        root, manifest = wide
+        for entry in manifest.entries[:4]:
+            circuit1, circuit2 = load_entry_circuits(entry, root)
+            assert circuit1.num_lines == circuit2.num_lines == entry.num_lines
+
+    def test_odd_indices_are_near_miss_variants(self, wide):
+        _, manifest = wide
+        for entry in manifest.entries:
+            index = int(entry.pair_id.rsplit("-", 1)[1])
+            assert entry.expected_equivalent is (index % 2 == 0)
+
+    def test_near_misses_are_probe_distinct_from_their_twin(self, wide):
+        """The whole point of the family: the appended transposition sits
+        on the probe set, so probe digests distinguish the near-miss from
+        the unperturbed circuit at any probe count."""
+        root, manifest = wide
+        registry = build_registry("probe", probe_count=1)
+        near_misses = [
+            entry for entry in manifest.entries if not entry.expected_equivalent
+        ]
+        assert near_misses
+        for entry in near_misses[:3]:
+            circuit1, _ = load_entry_circuits(entry, root)
+            twin = ReversibleCircuit(
+                circuit1.num_lines, circuit1.gates[:-1]
+            )  # strip the appended transposition
+            assert (
+                registry.fingerprint(circuit1).digest
+                != registry.fingerprint(twin).digest
+            )
+
+    def test_deterministic_given_seed(self, tmp_path):
+        m1 = generate_corpus(
+            tmp_path / "a", families=("wide",), pairs_per_class=1, seed=3
+        )
+        m2 = generate_corpus(
+            tmp_path / "b", families=("wide",), pairs_per_class=1, seed=3
+        )
+        assert m1.to_dict() == m2.to_dict()
 
 
 class TestManifestFormat:

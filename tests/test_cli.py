@@ -252,6 +252,115 @@ class TestCorpusRun:
         assert "--cache-size must be positive" in capsys.readouterr().err
 
 
+class TestFingerprintCommand:
+    def test_single_file_prints_scheme_and_key(self, circuit_files, capsys):
+        _, base = circuit_files
+        assert main(["fingerprint", base]) == 0
+        output = capsys.readouterr().out
+        assert "scheme : exact" in output  # 4 lines: under the width limit
+        assert "fp/v2:4:exact:function:fwd:" in output
+        assert "pair key" not in output
+
+    def test_pair_prints_the_full_cache_key(self, circuit_files, capsys):
+        scrambled, base = circuit_files
+        assert main(["fingerprint", scrambled, base, "-e", "NP-I"]) == 0
+        output = capsys.readouterr().out
+        assert "pair key : v2|NP-I|fp/v2:" in output
+
+    def test_probe_scheme_is_selectable(self, circuit_files, capsys):
+        _, base = circuit_files
+        assert main(
+            ["fingerprint", base, "--fingerprint", "probe", "--probe-count", "8"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "scheme : probe" in output
+
+    def test_same_function_same_key_is_debuggable(self, tmp_path, capsys):
+        # The command's purpose: two representations of one function print
+        # the same fingerprint key, so a cache hit is predictable.
+        circuit = library.hidden_weighted_bit(4)
+        a, b = tmp_path / "a.real", tmp_path / "b.real"
+        io.write_real(circuit, a)
+        io.write_real(circuit, b)
+        assert main(["fingerprint", str(a), str(b)]) == 0
+        lines = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("  key")
+        ]
+        keys = {line.split(":", 1)[1].strip() for line in lines}
+        assert len(lines) == 2 and len(keys) == 1
+
+    def test_missing_file_is_an_error(self, capsys):
+        assert main(["fingerprint", "/nonexistent/file.real"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def _run_with_cache(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        main(
+            ["corpus", str(corpus), "--classes", "I-N", "--families",
+             "random", "--seed", "1"]
+        )
+        cache_dir = tmp_path / "cache"
+        assert main(["run", str(corpus), "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        return cache_dir
+
+    def test_migrate_reports_versions(self, tmp_path, capsys):
+        cache_dir = self._run_with_cache(tmp_path, capsys)
+        assert main(["cache", "migrate", "--cache-dir", str(cache_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "1 current (v2) entries" in output
+        assert "0 stale v1" in output
+
+    def test_migrate_drop_v1(self, tmp_path, capsys):
+        cache_dir = self._run_with_cache(tmp_path, capsys)
+        v1 = cache_dir / "aaaa.json"
+        v1.write_text(json.dumps({"key": "I-N|v1-ish", "record": {}}))
+        assert main(
+            ["cache", "migrate", "--cache-dir", str(cache_dir), "--drop-v1"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "1 stale v1" in output and "dropped 1" in output
+        assert not v1.exists()
+
+    def test_migrate_missing_directory(self, tmp_path, capsys):
+        assert main(
+            ["cache", "migrate", "--cache-dir", str(tmp_path / "nope")]
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestWideRun:
+    def test_wide_corpus_warm_rerun_spends_zero_queries(self, tmp_path, capsys):
+        """The acceptance criterion through `repro run`: generate a wide
+        (>= 16-line) corpus, run it twice against a disk cache from two
+        separate CLI invocations, and the warm run executes nothing."""
+        corpus = tmp_path / "wide"
+        assert main(
+            ["corpus", str(corpus), "--families", "wide", "--classes",
+             "I-P,P-I", "--seed", "3"]
+        ) == 0
+        manifest = json.loads((corpus / "manifest.json").read_text())
+        assert all(entry["num_lines"] >= 16 for entry in manifest["entries"])
+        cache_dir = tmp_path / "cache"
+        assert main(["run", str(corpus), "--cache-dir", str(cache_dir)]) == 0
+        cold = capsys.readouterr().out
+        assert "2 executed" in cold
+        assert main(["run", str(corpus), "--cache-dir", str(cache_dir)]) == 0
+        warm = capsys.readouterr().out
+        assert "2 cached, 0 resumed, 0 executed" in warm
+        assert "0 classical + 0 quantum queries spent" in warm
+
+    def test_run_rejects_bad_fingerprint_scheme(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", str(tmp_path), "--fingerprint", "telepathy"]
+            )
+
+
 class TestRunStreaming:
     @pytest.fixture
     def corpus(self, tmp_path):
