@@ -1023,7 +1023,82 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--output", "-o", help="write the circuit to a file")
     synth.add_argument("--ascii", action="store_true", help="pure-ASCII glyphs")
     synth.set_defaults(handler=_cmd_synth)
+
+    linter = subparsers.add_parser(
+        "lint",
+        help="run the project's static invariant checks",
+        description=(
+            "Walks the AST of src/repro/** enforcing the determinism, "
+            "lock-coverage and docs-drift invariants (see docs/lint.md). "
+            "Exit code 0 only when no non-baselined finding remains."
+        ),
+    )
+    linter.add_argument(
+        "paths", nargs="*",
+        help="specific files to lint (default: the whole src/repro tree)",
+    )
+    linter.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="repository root holding src/repro, docs/ and README.md",
+    )
+    linter.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format on stdout",
+    )
+    linter.add_argument(
+        "--output", metavar="PATH",
+        help="also write the report to a file (the CI artifact)",
+    )
+    linter.add_argument(
+        "--baseline", metavar="PATH",
+        help="baseline file of grandfathered findings "
+             "(default <root>/lint-baseline.json when present)",
+    )
+    linter.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline; report every finding as new",
+    )
+    linter.add_argument(
+        "--write-baseline", action="store_true",
+        help="grandfather the current findings into the baseline file",
+    )
+    linter.set_defaults(handler=_cmd_lint)
     return parser
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        lint_project,
+        load_baseline,
+        render,
+        render_text,
+        write_baseline,
+    )
+
+    root = Path(args.root)
+    paths = [Path(item) for item in args.paths] or None
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / "lint-baseline.json"
+    )
+    baseline = frozenset()
+    if (
+        not args.no_baseline
+        and not args.write_baseline
+        and (args.baseline or baseline_path.exists())
+    ):
+        baseline = load_baseline(baseline_path)
+    report = lint_project(root, baseline=baseline, paths=paths)
+    if args.write_baseline:
+        write_baseline(baseline_path, report.findings)
+        print(f"wrote {baseline_path} ({len(report.findings)} findings)")
+        return 0
+    output = render(report, args.format)
+    if args.output:
+        Path(args.output).write_text(output + "\n", encoding="utf-8")
+        print(render_text(report))
+    else:
+        print(output)
+    return report.exit_code
 
 
 def main(argv: Sequence[str] | None = None) -> int:

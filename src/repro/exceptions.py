@@ -25,6 +25,7 @@ __all__ = [
     "ServiceError",
     "FingerprintError",
     "DaemonError",
+    "LintError",
 ]
 
 
@@ -99,3 +100,7 @@ class FingerprintError(ServiceError):
 
 class DaemonError(ServiceError):
     """Failure in the matching daemon (protocol, transport, or job state)."""
+
+
+class LintError(ReproError):
+    """Misuse of the lint subsystem (bad registry, baseline, or target)."""

@@ -1,0 +1,392 @@
+"""Determinism rules: nothing entropy- or order-dependent may feed a digest.
+
+The ``v2|`` cache-key contract and the byte-identical shard/merge guarantee
+both rest on the modules in the ``determinism`` scope producing the same
+bytes for the same inputs, in any process, at any time, on any filesystem.
+These rules flag the classic ways that property silently breaks: ambient
+randomness, wall clocks, hash-order iteration, directory-order listings,
+process-local ``id()`` keys, and non-atomic file publication.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.rules import ModuleContext, ModuleRule
+
+__all__ = [
+    "UnseededRandomRule",
+    "WallClockRule",
+    "UnsortedIterationRule",
+    "UnsortedListingRule",
+    "IdentityKeyRule",
+    "NonAtomicPublishRule",
+]
+
+# random-module functions that consult the shared, unseeded global RNG.
+_GLOBAL_RNG_FUNCS = frozenset({
+    "random", "randrange", "randint", "randbytes", "getrandbits",
+    "choice", "choices", "shuffle", "sample", "uniform", "triangular",
+    "gauss", "normalvariate", "expovariate", "betavariate",
+})
+
+_TIME_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns",
+})
+
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+_UUID_FUNCS = frozenset({"uuid1", "uuid4"})
+
+
+class _ImportMap:
+    """Names bound in a module to stdlib modules/classes we care about."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.module_aliases: dict[str, str] = {}
+        self.from_names: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.from_names[alias.asname or alias.name] = (
+                        node.module, alias.name
+                    )
+
+    def aliases_of(self, module: str) -> frozenset[str]:
+        return frozenset(
+            name for name, target in self.module_aliases.items()
+            if target == module
+        )
+
+    def from_import(self, module: str, original: str) -> frozenset[str]:
+        return frozenset(
+            name for name, target in self.from_names.items()
+            if target == (module, original)
+        )
+
+    def from_imports(self, module: str) -> dict[str, str]:
+        """Local name -> original name for every ``from module import ...``."""
+        return {
+            name: original
+            for name, (source, original) in self.from_names.items()
+            if source == module
+        }
+
+
+def _module_call(node: ast.Call, aliases: frozenset[str]) -> str | None:
+    """Return ``attr`` when the call is ``<alias>.<attr>(...)``."""
+    func = node.func
+    if (isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in aliases):
+        return func.attr
+    return None
+
+
+class UnseededRandomRule(ModuleRule):
+    """Flag calls that draw from ambient randomness in digest-feeding code."""
+
+    rule_id = "det-unseeded-random"
+    summary = ("no unseeded random.* / SystemRandom in modules that feed "
+               "fingerprints, keys, or serialised output")
+    scope = "determinism"
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        imports = _ImportMap(ctx.tree)
+        aliases = imports.aliases_of("random")
+        from_random = imports.from_imports("random")
+        findings: list[Finding] = []
+
+        def flag(node: ast.AST, what: str) -> None:
+            findings.append(self.finding(
+                ctx.relpath, node.lineno,
+                f"{what} draws from ambient entropy; seed explicitly or "
+                "derive from recorded inputs",
+            ))
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            attr = _module_call(node, aliases)
+            name = None
+            if attr is None and isinstance(node.func, ast.Name):
+                name = from_random.get(node.func.id)
+            target = attr if attr is not None else name
+            if target is None:
+                # SystemRandom()/Random() reached via an attribute chain on
+                # an instance is out of reach; only direct uses are flagged.
+                continue
+            if target == "SystemRandom":
+                flag(node, "random.SystemRandom")
+            elif target == "Random" and not node.args and not node.keywords:
+                flag(node, "unseeded random.Random()")
+            elif target in _GLOBAL_RNG_FUNCS:
+                flag(node, f"random.{target}")
+        return findings
+
+
+class WallClockRule(ModuleRule):
+    """Flag wall-clock and uuid reads in digest-feeding code."""
+
+    rule_id = "det-wallclock"
+    summary = ("no time.*, datetime.now/utcnow/today, or uuid1/uuid4 in "
+               "modules that feed fingerprints, keys, or serialised output")
+    scope = "determinism"
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        imports = _ImportMap(ctx.tree)
+        time_aliases = imports.aliases_of("time")
+        datetime_mod_aliases = imports.aliases_of("datetime")
+        uuid_aliases = imports.aliases_of("uuid")
+        datetime_classes = (imports.from_import("datetime", "datetime")
+                            | imports.from_import("datetime", "date"))
+        time_funcs = {
+            name for name, original in imports.from_imports("time").items()
+            if original in _TIME_FUNCS
+        }
+        uuid_funcs = {
+            name for name, original in imports.from_imports("uuid").items()
+            if original in _UUID_FUNCS
+        }
+        findings: list[Finding] = []
+
+        def flag(node: ast.AST, what: str) -> None:
+            findings.append(self.finding(
+                ctx.relpath, node.lineno,
+                f"{what} reads the wall clock / host identity; thread a "
+                "recorded timestamp or derived value through instead",
+            ))
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            attr = _module_call(node, time_aliases)
+            if attr in _TIME_FUNCS:
+                flag(node, f"time.{attr}")
+                continue
+            attr = _module_call(node, uuid_aliases)
+            if attr in _UUID_FUNCS:
+                flag(node, f"uuid.{attr}")
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _DATETIME_FUNCS:
+                value = func.value
+                # datetime.now() via ``from datetime import datetime``
+                if isinstance(value, ast.Name) and value.id in datetime_classes:
+                    flag(node, f"datetime.{func.attr}")
+                    continue
+                # datetime.datetime.now() via ``import datetime``
+                if (isinstance(value, ast.Attribute)
+                        and isinstance(value.value, ast.Name)
+                        and value.value.id in datetime_mod_aliases):
+                    flag(node, f"datetime.{value.attr}.{func.attr}")
+                    continue
+            if isinstance(func, ast.Name):
+                if func.id in time_funcs:
+                    flag(node, f"time.{func.id}")
+                elif func.id in uuid_funcs:
+                    flag(node, f"uuid.{func.id}")
+        return findings
+
+
+class UnsortedIterationRule(ModuleRule):
+    """Flag loops/comprehensions iterating sets or dict views unsorted."""
+
+    rule_id = "det-unsorted-iter"
+    summary = ("iteration over dict views or sets in digest-feeding code "
+               "must go through sorted(...)")
+    scope = "determinism"
+
+    def _iter_exprs(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield node.iter
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for generator in node.generators:
+                    yield generator.iter
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for expr in self._iter_exprs(ctx):
+            reason = self._unordered(expr)
+            if reason is not None:
+                findings.append(self.finding(
+                    ctx.relpath, expr.lineno,
+                    f"iterating {reason} in hash-dependent order; wrap the "
+                    "iterable in sorted(...) so output bytes are "
+                    "order-independent",
+                ))
+        return findings
+
+    @staticmethod
+    def _unordered(expr: ast.AST) -> str | None:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return "a set literal"
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+                return f"{func.id}(...)"
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in {"items", "keys", "values"}
+                    and not expr.args and not expr.keywords):
+                return f".{func.attr}() of a dict"
+        return None
+
+
+class UnsortedListingRule(ModuleRule):
+    """Flag directory listings consumed without sorted(...)."""
+
+    rule_id = "det-unsorted-glob"
+    summary = ("os.listdir / glob / Path.glob results must be sorted before "
+               "use in digest-feeding code")
+    scope = "determinism"
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        imports = _ImportMap(ctx.tree)
+        os_aliases = imports.aliases_of("os")
+        glob_aliases = imports.aliases_of("glob")
+        glob_funcs = {
+            name for name, original in imports.from_imports("glob").items()
+            if original in {"glob", "iglob"}
+        }
+        listdir_funcs = set(imports.from_import("os", "listdir"))
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            what = self._listing(node, os_aliases, glob_aliases,
+                                 glob_funcs, listdir_funcs)
+            if what is None:
+                continue
+            if self._sorted_wraps(ctx, node):
+                continue
+            findings.append(self.finding(
+                ctx.relpath, node.lineno,
+                f"{what} yields entries in filesystem order; wrap it in "
+                "sorted(...) before the result can reach a digest or "
+                "serialised output",
+            ))
+        return findings
+
+    @staticmethod
+    def _listing(node: ast.Call, os_aliases, glob_aliases,
+                 glob_funcs, listdir_funcs) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in glob_funcs:
+                return f"glob.{func.id}"
+            if func.id in listdir_funcs:
+                return "os.listdir"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        if isinstance(func.value, ast.Name):
+            if func.value.id in os_aliases and func.attr == "listdir":
+                return "os.listdir"
+            if func.value.id in glob_aliases and func.attr in {"glob", "iglob"}:
+                return f"glob.{func.attr}"
+        if func.attr in {"glob", "rglob", "iterdir"}:
+            return f".{func.attr}()"
+        return None
+
+    @staticmethod
+    def _sorted_wraps(ctx: ModuleContext, node: ast.Call) -> bool:
+        parent = ctx.parent(node)
+        return (isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id == "sorted"
+                and node in parent.args)
+
+
+class IdentityKeyRule(ModuleRule):
+    """Flag id()-derived values in digest-feeding code."""
+
+    rule_id = "det-id-key"
+    summary = "id() is process-local; keys must derive from content"
+    scope = "determinism"
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "id"
+                    and len(node.args) == 1):
+                findings.append(self.finding(
+                    ctx.relpath, node.lineno,
+                    "id() is process-specific and allocation-dependent; "
+                    "derive keys from content (digest, label) instead",
+                ))
+        return findings
+
+
+class NonAtomicPublishRule(ModuleRule):
+    """Flag functions that write files without publishing via os.replace."""
+
+    rule_id = "det-nonatomic-publish"
+    summary = ("file-publishing functions must write a tmp file and "
+               "os.replace it into place")
+    scope = "publish"
+
+    _WRITE_MODES = ("w", "wt", "wb", "w+", "wb+", "x", "xt", "xb")
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        imports = _ImportMap(ctx.tree)
+        os_aliases = imports.aliases_of("os")
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            writes = [call for call in ast.walk(node)
+                      if isinstance(call, ast.Call) and self._is_write(call)]
+            if not writes:
+                continue
+            if self._publishes_atomically(node, os_aliases):
+                continue
+            for call in writes:
+                findings.append(self.finding(
+                    ctx.relpath, call.lineno,
+                    f"{node.name}() writes a file in place; write to a tmp "
+                    "path and os.replace() it so readers never observe a "
+                    "torn file",
+                ))
+        return findings
+
+    def _is_write(self, call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = None
+            if len(call.args) >= 2:
+                mode = call.args[1]
+            for keyword in call.keywords:
+                if keyword.arg == "mode":
+                    mode = keyword.value
+            return (isinstance(mode, ast.Constant)
+                    and isinstance(mode.value, str)
+                    and mode.value in self._WRITE_MODES)
+        if isinstance(func, ast.Attribute):
+            return func.attr in {"write_text", "write_bytes"}
+        return False
+
+    @staticmethod
+    def _publishes_atomically(func_node: ast.AST, os_aliases) -> bool:
+        for call in ast.walk(func_node):
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr != "replace":
+                continue
+            # os.replace(tmp, final) or tmp_path.replace(final)
+            if isinstance(func.value, ast.Name) and func.value.id in os_aliases:
+                return True
+            if call.args and len(call.args) == 1:
+                return True
+        return False

@@ -1,0 +1,119 @@
+"""Findings, inline suppressions, and the grandfather baseline.
+
+A :class:`Finding` is one rule violation anchored at a file and line.  Its
+``fingerprint`` deliberately omits the line number so that unrelated edits
+above a grandfathered violation do not resurrect it: the baseline file
+stores fingerprints, and a finding is *new* only when its fingerprint is
+absent from the baseline.
+
+Suppressions are textual, not syntactic, so they work in any file a rule
+can anchor a finding to: ``# repro: allow[rule-id]`` in a Python file,
+``<!-- repro: allow[rule-id] -->`` in markdown.  A marker silences matching
+rules on its own line and on the line directly below it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import LintError
+
+__all__ = [
+    "Finding",
+    "suppressed_rules",
+    "load_baseline",
+    "write_baseline",
+    "BASELINE_FORMAT",
+]
+
+BASELINE_FORMAT = "repro-lint-baseline/v1"
+
+_ALLOW_RE = re.compile(r"repro:\s*allow\[([a-z0-9_,\s-]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation: where it is, which rule fired, and why."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline file."""
+        return f"{self.rule}|{self.path}|{self.message}"
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "baselined": self.baselined,
+        }
+
+
+def suppressed_rules(lines: list[str], line: int) -> frozenset[str]:
+    """Rule ids silenced at 1-based ``line`` of a file split into ``lines``.
+
+    Markers on the anchored line itself and on the line directly above both
+    apply, matching the two natural placements::
+
+        value = random.random()  # repro: allow[det-unseeded-random]
+
+        # repro: allow[det-unsorted-glob]
+        count = sum(1 for _ in directory.glob("*.json"))
+    """
+    rules: set[str] = set()
+    for index in (line - 1, line - 2):
+        if 0 <= index < len(lines):
+            for match in _ALLOW_RE.finditer(lines[index]):
+                rules.update(
+                    token.strip()
+                    for token in match.group(1).split(",")
+                    if token.strip()
+                )
+    return frozenset(rules)
+
+
+def load_baseline(path: Path) -> frozenset[str]:
+    """Read a baseline file back into the set of grandfathered fingerprints."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("format") != BASELINE_FORMAT:
+        raise LintError(
+            f"baseline {path} is not a {BASELINE_FORMAT} document"
+        )
+    findings = data.get("findings")
+    if not isinstance(findings, list) or not all(
+        isinstance(item, str) for item in findings
+    ):
+        raise LintError(f"baseline {path} has a malformed findings list")
+    return frozenset(findings)
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Persist the fingerprints of ``findings`` as the new baseline.
+
+    Fingerprints are sorted and deduplicated so the file is diff-stable,
+    and published atomically (tmp + ``os.replace`` via ``Path.replace``)
+    so a crashed writer never leaves a torn baseline.
+    """
+    document = {
+        "format": BASELINE_FORMAT,
+        "findings": sorted({finding.fingerprint for finding in findings}),
+    }
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    tmp.replace(path)

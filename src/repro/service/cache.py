@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -79,10 +80,19 @@ class CacheStats:
 
 
 class ResultCache(ABC):
-    """A key -> JSON-record store with hit/miss accounting."""
+    """A key -> JSON-record store with hit/miss accounting.
+
+    Thread-safe at the public surface: the daemon shares one cache
+    between its worker thread (which reads and writes entries) and its
+    handler threads (whose ``stats`` op reads the counters), so ``get``
+    and ``put`` serialise entry access *and* stats updates under one
+    re-entrant lock.  Subclass hooks (``_get``/``_put``) always run with
+    the lock held and must not take it themselves.
+    """
 
     def __init__(self) -> None:
         self.stats = CacheStats()
+        self._lock = threading.RLock()
 
     @abstractmethod
     def _get(self, key: str) -> dict | None:
@@ -98,21 +108,23 @@ class ResultCache(ABC):
 
     def get(self, key: str) -> dict | None:
         """Look up ``key``, updating the hit/miss (and per-scheme) statistics."""
-        record = self._get(key)
-        if record is None:
-            self.stats.misses += 1
-        else:
-            self.stats.hits += 1
-            label = scheme_label(key)
-            self.stats.scheme_hits[label] = (
-                self.stats.scheme_hits.get(label, 0) + 1
-            )
-        return record
+        with self._lock:
+            record = self._get(key)
+            if record is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+                label = scheme_label(key)
+                self.stats.scheme_hits[label] = (
+                    self.stats.scheme_hits.get(label, 0) + 1
+                )
+            return record
 
     def put(self, key: str, record: dict) -> None:
         """Store ``record`` under ``key``, updating the store counter."""
-        self._put(key, record)
-        self.stats.stores += 1
+        with self._lock:
+            self._put(key, record)
+            self.stats.stores += 1
 
 
 class LRUCache(ResultCache):
@@ -189,6 +201,8 @@ class DiskCache(ResultCache):
         tmp = path.with_suffix(f".{os.getpid()}.tmp")
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump({"key": key, "record": record}, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
 
     def __len__(self) -> int:

@@ -154,6 +154,11 @@ class DaemonJob:
                 self.done += 1
                 if kind == "TaskFailed":
                     self.failed += 1
+            elif kind == "RunCompleted":
+                # Captured here, not by the worker loop: ``to_dict()``
+                # readers take this lock, so the summary must be written
+                # under it too.
+                self.summary = event
             kept = []
             for subscriber in self._subscribers:
                 if subscriber.qsize() >= SUBSCRIBER_BUFFER_LIMIT:
@@ -796,10 +801,7 @@ class MatchingDaemon:
         try:
             events = self._events_for(job, service)
             for event in events:
-                payload = event.to_dict()
-                if payload.get("event") == "RunCompleted":
-                    job.summary = payload
-                job.publish(payload)
+                job.publish(event.to_dict())
                 if job.cancel_requested:
                     events.close()
                     outcome = RunState.CANCELLED

@@ -238,9 +238,15 @@ def merge_stores(
         key=lambda record: (record.get("index", 0), record.get("pair_id", "")),
     )
     output = Path(output)
-    with open(output, "w", encoding="utf-8") as handle:
+    # Publish atomically: an interrupted merge must not leave a torn
+    # store where a complete shard store (or a previous merge) stood.
+    tmp = output.with_suffix(output.suffix + f".{os.getpid()}.tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
         for record in records:
             handle.write(json.dumps(record) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, output)
     return len(records)
 
 

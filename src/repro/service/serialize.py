@@ -26,11 +26,20 @@ def json_safe(value):
     (a LinePermutation in matcher metadata, say) is stringified rather than
     dropped, so records stay lossless enough to read while always
     serialising.
+
+    Dict entries are emitted in sorted (stringified) key order: metadata
+    dicts reach cache entries and JSONL records byte-for-byte, so their
+    serialised form must not depend on insertion or hash order.
     """
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if isinstance(value, dict):
-        return {str(key): json_safe(item) for key, item in value.items()}
+        return {
+            str(key): json_safe(item)
+            for key, item in sorted(
+                value.items(), key=lambda entry: str(entry[0])
+            )
+        }
     if isinstance(value, (list, tuple)):
         return [json_safe(item) for item in value]
     return str(value)

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import random as _random
 from dataclasses import dataclass
 from pathlib import Path
@@ -175,11 +176,21 @@ class CorpusManifest:
         )
 
     def save(self, path: str | Path) -> Path:
-        """Write the manifest as JSON; returns the path written."""
+        """Write the manifest as JSON; returns the path written.
+
+        Published atomically (tmp file + ``os.replace``): a concurrent
+        reader — a daemon submit pointed at the corpus directory, say —
+        sees either the old complete manifest or the new one, never a
+        torn file.
+        """
         path = Path(path)
-        with open(path, "w", encoding="utf-8") as handle:
+        tmp = path.with_suffix(path.suffix + f".{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(self.to_dict(), handle, indent=2)
             handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
         return path
 
     @classmethod
@@ -354,7 +365,10 @@ def generate_corpus(
     if classes is None:
         classes = tractable_classes()
     if seed is None:
-        seed = _random.SystemRandom().getrandbits(32)
+        # Fresh corpora without an explicit seed deliberately draw one
+        # from OS entropy; the drawn seed is recorded in the manifest,
+        # so the corpus stays reproducible from its own metadata.
+        seed = _random.SystemRandom().getrandbits(32)  # repro: allow[det-unseeded-random]
 
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,47 @@
+"""Shared helpers for the lint self-tests.
+
+Bad fixtures annotate every line a rule must flag with an
+``# expect[rule-id]`` marker, so the fire tests assert the exact
+(line, rule) set — a rule that fires on the wrong line, or on a good
+fixture, fails loudly.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_project
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_EXPECT = re.compile(r"#\s*expect\[([a-z0-9-]+)\]")
+
+
+def expected_findings(path: Path) -> set[tuple[int, str]]:
+    """The ``(line, rule)`` pairs a bad fixture declares it must trigger."""
+    expected = set()
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in _EXPECT.finditer(line):
+            expected.add((lineno, match.group(1)))
+    return expected
+
+
+def lint_fixture(path: Path, **kwargs):
+    """Lint one fixture file against the stock registry."""
+    return lint_project(FIXTURES, paths=[path], **kwargs)
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    return REPO_ROOT

@@ -1,0 +1,11 @@
+# repro-lint: scope=determinism
+"""Bad: a cache key derived from process-local object identity."""
+
+
+def cache_key(oracle):
+    return f"oracle-{id(oracle)}"  # expect[det-id-key]
+
+
+def memo_slot(circuit, table):
+    table[id(circuit)] = circuit  # expect[det-id-key]
+    return table

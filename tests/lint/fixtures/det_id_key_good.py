@@ -1,0 +1,14 @@
+# repro-lint: scope=determinism
+"""Good: keys derive from content, never from object identity."""
+
+import hashlib
+
+
+def cache_key(oracle):
+    digest = hashlib.sha256(repr(oracle).encode("utf-8")).hexdigest()
+    return f"oracle-{digest}"
+
+
+def memo_slot(circuit, table, key):
+    table[key] = circuit
+    return table

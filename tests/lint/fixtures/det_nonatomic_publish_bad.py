@@ -1,0 +1,13 @@
+# repro-lint: scope=publish
+"""Bad: files published in place — a crash leaves a torn file."""
+
+import json
+
+
+def save_manifest(path, payload):
+    with open(path, "w", encoding="utf-8") as handle:  # expect[det-nonatomic-publish]
+        json.dump(payload, handle)
+
+
+def save_note(path, text):
+    path.write_text(text)  # expect[det-nonatomic-publish]

@@ -1,0 +1,23 @@
+# repro-lint: scope=publish
+"""Good: write a tmp file, then os.replace it into place."""
+
+import json
+import os
+
+
+def save_manifest(path, payload):
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)
+
+
+def save_note(path, text):
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(text)
+    tmp.replace(path)
+
+
+def load_manifest(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

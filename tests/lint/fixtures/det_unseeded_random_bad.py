@@ -1,0 +1,26 @@
+# repro-lint: scope=determinism
+"""Bad: digest-feeding code drawing from ambient entropy."""
+
+import random
+import random as rnd
+from random import Random, SystemRandom, randrange
+
+
+def salt():
+    return random.random()  # expect[det-unseeded-random]
+
+
+def probe_bits():
+    return rnd.getrandbits(16)  # expect[det-unseeded-random]
+
+
+def pick(items):
+    return randrange(len(items))  # expect[det-unseeded-random]
+
+
+def fresh_rng():
+    return Random()  # expect[det-unseeded-random]
+
+
+def strong_rng():
+    return SystemRandom()  # expect[det-unseeded-random]

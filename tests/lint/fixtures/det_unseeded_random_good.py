@@ -1,0 +1,17 @@
+# repro-lint: scope=determinism
+"""Good: every random draw flows from an explicit, recorded seed."""
+
+import random
+from random import Random
+
+
+def rng(seed):
+    return Random(seed)
+
+
+def draw(seed):
+    return random.Random(seed).random()
+
+
+def derived(seed, index):
+    return random.Random((seed, index)).getrandbits(32)

@@ -1,0 +1,22 @@
+# repro-lint: scope=determinism
+"""Bad: directory listings consumed in filesystem order."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def entries(directory):
+    return os.listdir(directory)  # expect[det-unsorted-glob]
+
+
+def shards(pattern):
+    return glob.glob(pattern)  # expect[det-unsorted-glob]
+
+
+def records(directory):
+    return [path.name for path in Path(directory).glob("*.json")]  # expect[det-unsorted-glob]
+
+
+def children(directory):
+    return list(Path(directory).iterdir())  # expect[det-unsorted-glob]

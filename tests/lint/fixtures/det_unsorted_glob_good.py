@@ -1,0 +1,22 @@
+# repro-lint: scope=determinism
+"""Good: every listing is sorted before anything consumes it."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def entries(directory):
+    return sorted(os.listdir(directory))
+
+
+def shards(pattern):
+    return sorted(glob.glob(pattern))
+
+
+def records(directory):
+    return [path.name for path in sorted(Path(directory).glob("*.json"))]
+
+
+def children(directory):
+    return sorted(Path(directory).iterdir())

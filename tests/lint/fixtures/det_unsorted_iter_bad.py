@@ -1,0 +1,21 @@
+# repro-lint: scope=determinism
+"""Bad: hash-order iteration feeding serialised output."""
+
+
+def digest_parts(mapping):
+    return [f"{key}={value}" for key, value in mapping.items()]  # expect[det-unsorted-iter]
+
+
+def key_lines(mapping):
+    out = []
+    for key in mapping.keys():  # expect[det-unsorted-iter]
+        out.append(key)
+    return out
+
+
+def tag_list():
+    return [item for item in {"b", "a", "c"}]  # expect[det-unsorted-iter]
+
+
+def unique(values):
+    return [item for item in set(values)]  # expect[det-unsorted-iter]

@@ -1,0 +1,21 @@
+# repro-lint: scope=determinism
+"""Good: every unordered collection goes through sorted(...) first."""
+
+
+def digest_parts(mapping):
+    return [f"{key}={value}" for key, value in sorted(mapping.items())]
+
+
+def key_lines(mapping):
+    out = []
+    for key in sorted(mapping.keys()):
+        out.append(key)
+    return out
+
+
+def unique(values):
+    return [item for item in sorted(set(values))]
+
+
+def pairs(items):
+    return [entry for entry in items]

@@ -1,0 +1,28 @@
+# repro-lint: scope=determinism
+"""Bad: digest-feeding code reading wall clocks and host identity."""
+
+import datetime
+import time
+import uuid
+from datetime import datetime as dt
+from time import perf_counter
+
+
+def stamp():
+    return time.time()  # expect[det-wallclock]
+
+
+def tick():
+    return perf_counter()  # expect[det-wallclock]
+
+
+def when():
+    return datetime.datetime.now()  # expect[det-wallclock]
+
+
+def midnight():
+    return dt.utcnow()  # expect[det-wallclock]
+
+
+def token():
+    return uuid.uuid4()  # expect[det-wallclock]

@@ -1,0 +1,12 @@
+# repro-lint: scope=determinism
+"""Good: timestamps are threaded through; uuid5 is content-derived."""
+
+import uuid
+
+
+def stamp(recorded):
+    return float(recorded)
+
+
+def token(namespace, name):
+    return uuid.uuid5(namespace, name)

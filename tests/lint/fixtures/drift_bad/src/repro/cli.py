@@ -1,0 +1,13 @@
+"""Fixture CLI: registers `ghost`, which the README never shows."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(prog="repro")
+    subparsers = parser.add_subparsers()
+    runner = subparsers.add_parser("run")
+    runner.add_argument("--seed", type=int)
+    ghost = subparsers.add_parser("ghost")
+    ghost.add_argument("--haunt")
+    return parser

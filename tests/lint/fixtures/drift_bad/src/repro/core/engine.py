@@ -1,0 +1,6 @@
+"""Fixture engine: a MatchingConfig the doc coverage list drifted from."""
+
+
+class MatchingConfig:
+    epsilon: float = 1e-3
+    probe_count: int = 64

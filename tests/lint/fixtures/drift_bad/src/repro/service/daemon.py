@@ -1,0 +1,11 @@
+"""Fixture daemon: dispatches `flush`, which the protocol doc omits."""
+
+
+class MatchingDaemon:
+    def _dispatch(self, frame):
+        op = frame.get("op")
+        if op == "ping":
+            return {"ok": True}
+        if op == "flush":
+            return {"ok": True, "flushed": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}

@@ -1,0 +1,15 @@
+"""Fixture events: wire fields drifted from the catalogue table."""
+
+
+class TaskDone:
+    kind = "TaskDone"
+
+    def to_dict(self):
+        return {"event": self.kind, "index": 0, "record": {}}
+
+
+class TaskSkipped:
+    kind = "TaskSkipped"
+
+    def to_dict(self):
+        return {"event": self.kind, "index": 0}

@@ -1,0 +1,13 @@
+"""Fixture CLI: every subcommand the README shows, and vice versa."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(prog="repro")
+    subparsers = parser.add_subparsers()
+    runner = subparsers.add_parser("run")
+    runner.add_argument("--seed", type=int)
+    ghost = subparsers.add_parser("ghost")
+    ghost.add_argument("--haunt")
+    return parser

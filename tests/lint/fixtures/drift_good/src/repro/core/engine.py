@@ -1,0 +1,6 @@
+"""Fixture engine: MatchingConfig and the doc coverage list agree."""
+
+
+class MatchingConfig:
+    epsilon: float = 1e-3
+    probe_count: int = 64

@@ -1,0 +1,23 @@
+"""Bad: an attribute guarded in one method, bare in another."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+        self._history = []
+
+    def bump(self):
+        with self._lock:
+            self._value += 1
+            self._history.append(self._value)
+
+    def reset(self):
+        self._value = 0  # expect[lock-unguarded-attr]
+        self._history.clear()  # expect[lock-unguarded-attr]
+
+    def peek(self):
+        with self._lock:
+            return self._value

@@ -1,0 +1,24 @@
+"""Good: every mutation of a guarded attribute holds the lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+        self._history = []
+
+    def bump(self):
+        with self._lock:
+            self._value += 1
+            self._history.append(self._value)
+
+    def reset(self):
+        with self._lock:
+            self._value = 0
+            self._history.clear()
+
+    def peek(self):
+        with self._lock:
+            return self._value

@@ -1,0 +1,92 @@
+"""Fixture-based self-tests for the lock-coverage rule family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import lint_project
+
+from tests.lint.conftest import FIXTURES, expected_findings, lint_fixture
+
+LOCK_RULES = ("lock-unguarded-attr", "lock-thread-entry")
+
+
+def _fixture(rule: str, kind: str):
+    return FIXTURES / f"{rule.replace('-', '_')}_{kind}.py"
+
+
+@pytest.mark.parametrize("rule", LOCK_RULES)
+class TestLockRules:
+    def test_fires_on_every_marked_line_of_the_bad_fixture(self, rule):
+        path = _fixture(rule, "bad")
+        expected = expected_findings(path)
+        assert expected, f"{path.name} declares no expected findings"
+        report = lint_fixture(path)
+        got = {(f.line, f.rule) for f in report.findings if f.rule == rule}
+        assert got == expected
+
+    def test_silent_on_the_good_fixture(self, rule):
+        report = lint_fixture(_fixture(rule, "good"))
+        assert [f for f in report.findings if f.rule == rule] == []
+
+    def test_inline_suppression_silences_every_finding(self, rule, tmp_path):
+        path = _fixture(rule, "bad")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        before = lint_fixture(path)
+        hits = [f for f in before.findings if f.rule == rule]
+        for finding in hits:
+            lines[finding.line - 1] += f"  # repro: allow[{rule}]"
+        patched = tmp_path / path.name
+        patched.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        after = lint_project(tmp_path, paths=[patched])
+        assert [f for f in after.findings if f.rule == rule] == []
+
+
+class TestLockRuleBoundaries:
+    """The exemptions are as deliberate as the checks."""
+
+    def test_constructor_writes_are_exempt(self, tmp_path):
+        module = tmp_path / "ctor.py"
+        module.write_text(
+            "import threading\n\n\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._value = 0\n\n"
+            "    def set(self, value):\n"
+            "        with self._lock:\n"
+            "            self._value = value\n",
+            encoding="utf-8",
+        )
+        report = lint_project(tmp_path, paths=[module])
+        assert report.findings == []
+
+    def test_lockless_classes_are_exempt(self, tmp_path):
+        module = tmp_path / "plain.py"
+        module.write_text(
+            "class Tally:\n"
+            "    def __init__(self):\n"
+            "        self._values = []\n\n"
+            "    def add(self, value):\n"
+            "        self._values.append(value)\n",
+            encoding="utf-8",
+        )
+        report = lint_project(tmp_path, paths=[module])
+        assert report.findings == []
+
+    def test_queue_put_is_not_a_mutation(self, tmp_path):
+        module = tmp_path / "queues.py"
+        module.write_text(
+            "import queue\n"
+            "import threading\n\n\n"
+            "class Pump:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._pending = queue.Queue()\n"
+            "        self._thread = threading.Thread(target=self._loop)\n\n"
+            "    def _loop(self):\n"
+            "        self._pending.put(1)\n",
+            encoding="utf-8",
+        )
+        report = lint_project(tmp_path, paths=[module])
+        assert report.findings == []

@@ -1,0 +1,74 @@
+"""Insertion-order independence of the serialisation layer.
+
+Cache entries and JSONL records are digested byte-for-byte, so two
+results that differ only in the *insertion order* of their metadata
+dicts must serialise to identical JSON.  These tests shuffle key
+insertion order explicitly and compare ``json.dumps`` output.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.core.equivalence import EquivalenceType
+from repro.core.problem import MatchingResult
+from repro.service.serialize import json_safe, result_to_dict
+
+_ITEMS = [
+    ("regime", "classical"),
+    ("repetitions", 3),
+    ("probe", {"beta": 2, "alpha": 1, "gamma": [3, 1, 2]}),
+    ("elapsed", 0.25),
+    ("matcher", "np-np"),
+]
+
+
+def _shuffled_dict(seed: int) -> dict:
+    rng = random.Random(seed)
+    items = list(_ITEMS)
+    rng.shuffle(items)
+    return {
+        key: (
+            dict(sorted(value.items(), key=lambda _: rng.random()))
+            if isinstance(value, dict)
+            else value
+        )
+        for key, value in items
+    }
+
+
+def test_json_safe_is_insertion_order_independent():
+    baseline = json.dumps(json_safe(_shuffled_dict(0)))
+    for seed in range(1, 8):
+        assert json.dumps(json_safe(_shuffled_dict(seed))) == baseline
+
+
+def test_json_safe_sorts_nested_dicts_too():
+    safe = json_safe({"outer": {"b": 1, "a": {"d": 2, "c": 3}}})
+    assert list(safe["outer"]) == ["a", "b"]
+    assert list(safe["outer"]["a"]) == ["c", "d"]
+
+
+def test_json_safe_stringifies_mixed_keys_deterministically():
+    first = json_safe({1: "x", "1a": "y", 2: "z"})
+    second = json_safe(dict(reversed(list({1: "x", "1a": "y", 2: "z"}.items()))))
+    assert json.dumps(first) == json.dumps(second)
+    assert set(first) == {"1", "1a", "2"}
+
+
+def test_result_to_dict_bytes_are_stable_across_metadata_order():
+    def result(seed: int) -> MatchingResult:
+        return MatchingResult(
+            equivalence=EquivalenceType.NP_NP,
+            nu_x=(True, False),
+            pi_x=[1, 0],
+            queries=12,
+            metadata=_shuffled_dict(seed),
+        )
+
+    baseline = json.dumps(result_to_dict(result(0)), sort_keys=True)
+    for seed in range(1, 8):
+        assert json.dumps(result_to_dict(result(seed)), sort_keys=True) == (
+            baseline
+        )

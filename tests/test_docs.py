@@ -28,7 +28,7 @@ def check_docs():
 class TestRepositoryDocs:
     def test_docs_directory_is_complete(self):
         for name in ("architecture.md", "cache-keys.md", "events.md",
-                     "protocol.md"):
+                     "lint.md", "protocol.md"):
             assert (ROOT / "docs" / name).exists(), f"docs/{name} is missing"
 
     def test_all_docs_pass_the_checker(self, check_docs, capsys):
