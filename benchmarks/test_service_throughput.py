@@ -25,8 +25,11 @@ Two tests are CI gates:
 * ``test_wide_probe_cached_vs_cold`` — a warm rerun of a **wide**
   (16–24-line) corpus, keyed by sampled-probe fingerprints, must perform
   **zero oracle queries**; it also writes the per-scheme cache hit-rate
-  JSON (``SCHEME_HIT_RATES``, default ``scheme-hit-rates.json``) that CI
-  uploads as an artifact.
+  JSON (``SCHEME_HIT_RATES``, default ``scheme-hit-rates.json``) and the
+  ``repro-metrics/v1`` snapshot (``METRICS_SNAPSHOT``, default
+  ``metrics-snapshot.json``) that CI uploads as artifacts, and leaves its
+  cold/warm JSONL stores under ``BENCH_STORES`` (default: a tmp dir) so
+  CI can gate ``repro report`` over real benchmark output.
 
 The per-backend pairs/sec figures are printed (``pytest -s``) and the
 wall-clock numbers land in the pytest-benchmark JSON, which CI uploads
@@ -39,12 +42,14 @@ import json
 import os
 import time
 import warnings
+from pathlib import Path
 
 import pytest
 
 from benchmarks.conftest import emit
 from repro.analysis.report import format_table
 from repro.core.engine import MatchingConfig
+from repro.obs.metrics import MetricsRegistry
 from repro.service.cache import build_cache
 from repro.service.executor import (
     OverlapExecutor,
@@ -225,24 +230,49 @@ def wide_corpus(tmp_path_factory):
     return root
 
 
-def test_wide_probe_cached_vs_cold(benchmark, wide_corpus):
+def _counter_value(snapshot: dict, name: str, **labels) -> int:
+    """One labelled sample's value from a ``repro-metrics/v1`` snapshot."""
+    for sample in snapshot["metrics"].get(name, {}).get("samples", ()):
+        if sample["labels"] == labels:
+            return sample["value"]
+    return 0
+
+
+def test_wide_probe_cached_vs_cold(benchmark, wide_corpus, tmp_path_factory):
     """CI gate: a warm wide-corpus rerun performs zero oracle queries.
 
     The warm run uses a *fresh* service over the shared cache, so every
     circuit is a different Python object than the cold run loaded —
     the hits are earned by probe fingerprints, not object identity.
-    Also writes the per-scheme cache hit-rate JSON CI uploads.
+    Also writes the per-scheme cache hit-rate JSON and the metrics
+    snapshot CI uploads, plus the cold/warm stores `repro report` gates
+    over.
     """
     manifest = CorpusManifest.load(wide_corpus / "manifest.json")
     assert all(entry.num_lines >= 16 for entry in manifest.entries)
 
+    bench_stores = os.environ.get("BENCH_STORES")
+    store_dir = (
+        Path(bench_stores) if bench_stores
+        else tmp_path_factory.mktemp("wide_stores")
+    )
+    store_dir.mkdir(parents=True, exist_ok=True)
+
+    metrics = MetricsRegistry()
     cache = build_cache()
-    cold = MatchingService(cache=cache).run_manifest(wide_corpus, seed=RUN_SEED)
+    cache.bind_metrics(metrics)
+    cold = MatchingService(cache=cache, metrics=metrics).run_manifest(
+        wide_corpus, seed=RUN_SEED,
+        store_path=store_dir / "wide-cold.jsonl",
+    )
     assert cold.executed == cold.total > 0
 
-    service = MatchingService(cache=cache)
+    service = MatchingService(cache=cache, metrics=metrics)
     report = benchmark.pedantic(
-        lambda: service.run_manifest(wide_corpus, seed=RUN_SEED),
+        lambda: service.run_manifest(
+            wide_corpus, seed=RUN_SEED,
+            store_path=store_dir / "wide-warm.jsonl",
+        ),
         rounds=3,
         iterations=1,
     )
@@ -250,6 +280,23 @@ def test_wide_probe_cached_vs_cold(benchmark, wide_corpus):
     assert report.classical_queries == 0 and report.quantum_queries == 0
     # Every warm hit was keyed by a sampled-probe fingerprint.
     assert set(cache.stats.scheme_hits) == {"probe"}
+
+    # The metrics snapshot is bookkept inside the same lock as
+    # CacheStats, so the two views must reconcile exactly.
+    snapshot = metrics.snapshot()
+    tier = cache.metrics_tier
+    assert _counter_value(
+        snapshot, "repro_cache_hits_total", tier=tier
+    ) == cache.stats.hits
+    assert _counter_value(
+        snapshot, "repro_cache_misses_total", tier=tier
+    ) == cache.stats.misses
+    assert _counter_value(
+        snapshot, "repro_cache_stores_total", tier=tier
+    ) == cache.stats.stores
+    metrics.write_json(
+        os.environ.get("METRICS_SNAPSHOT", "metrics-snapshot.json")
+    )
 
     stats = cache.stats
     payload = {

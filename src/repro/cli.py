@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Fourteen sub-commands cover the workflows a user of the library reaches
+Sixteen sub-commands cover the workflows a user of the library reaches
 for most often without writing Python:
 
 * ``repro info CIRCUIT.real`` — line/gate counts, cost metrics and an ASCII
@@ -23,8 +23,10 @@ for most often without writing Python:
   execution with store writes), ``--cache``/``--cache-dir`` (result reuse
   across pairs and runs), ``--resume`` (skip pairs already in the JSONL
   result store), ``--shard i/n`` (run one deterministic partition of the
-  manifest), ``--progress`` (a progress line per N finished pairs) and
-  ``--events`` (JSONL lifecycle-event log);
+  manifest), ``--progress`` (a progress line per N finished pairs),
+  ``--events`` (JSONL lifecycle-event log), ``--metrics`` (write a
+  ``repro-metrics/v1`` snapshot of the run's counters) and ``--trace``
+  (JSONL span log following each pair through the pipeline);
 * ``repro merge`` — union the result stores of shard runs into one store,
   byte-identical to an unsharded run of the same manifest;
 * ``repro fingerprint C1.real [C2.real]`` — print the oracle-identity
@@ -41,7 +43,11 @@ for most often without writing Python:
   ``--events`` observers as ``repro run``;
 * ``repro watch`` — subscribe to a daemon run's live event stream;
 * ``repro daemon`` — daemon administration (``ping`` / ``status`` /
-  ``stats`` / ``cancel`` / ``shutdown``).
+  ``stats`` / ``metrics`` / ``cancel`` / ``shutdown``);
+* ``repro report`` — scan a tree of JSONL result stores and print
+  per-run summaries plus cross-run trends (``docs/observability.md``);
+* ``repro lint`` — run the project's static invariant checks
+  (``docs/lint.md``).
 
 Matching commands accept ``--no-quantum`` (forbid the simulated quantum
 matchers) and ``--budget N`` (hard oracle query budget).  Circuit files may
@@ -290,10 +296,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "(use --no-cache to disable caching)"
             )
         cache = build_cache(memory_size=args.cache_size, disk_dir=args.cache_dir)
+    metrics = None
+    if args.metrics is not None:
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        if cache is not None:
+            cache.bind_metrics(metrics)
+    tracer = None
+    if args.trace is not None:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(args.trace)
     if args.workers > 1:
+        # Worker processes build their own engines; engine-level metrics
+        # need the in-process serial backend.
         executor = ParallelExecutor(workers=args.workers)
     else:
-        executor = SerialExecutor()
+        executor = SerialExecutor(metrics=metrics)
     if args.overlap:
         executor = OverlapExecutor(executor)
     shard = parse_shard(args.shard) if args.shard is not None else None
@@ -311,6 +331,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cache=cache,
         verify=args.verify,
         observers=observers,
+        metrics=metrics,
+        tracer=tracer,
     )
     try:
         report = service.run_manifest(
@@ -323,12 +345,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
     finally:
         if event_log is not None:
             event_log.close()
+        if tracer is not None:
+            tracer.close()
+        # Written in the cleanup path on purpose: an interrupted run's
+        # counters are exactly what a post-mortem wants to see.
+        if metrics is not None:
+            metrics.write_json(args.metrics)
     print(report.to_table(title=f"service run of {report.total} pairs"))
     print()
     print(report.summary())
     if args.store:
         print(f"store: {args.store}")
+    if args.metrics:
+        print(f"metrics: {args.metrics}")
+    if args.trace:
+        print(f"trace: {args.trace}")
     return 0 if report.failed == 0 else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_report, report_to_json, scan_results
+
+    summaries = scan_results(
+        args.results_root, use_cache=not args.no_cache_file
+    )
+    if args.json:
+        print(json.dumps(report_to_json(summaries), indent=2, sort_keys=True))
+    else:
+        print(render_report(summaries))
+    return 0
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
@@ -516,6 +561,8 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
             response = client.status(args.run_id)
         elif args.action == "stats":
             response = client.stats()
+        elif args.action == "metrics":
+            response = client.metrics()
         elif args.action == "cancel":
             response = client.cancel(args.run_id)
         else:  # shutdown (argparse restricts the choices)
@@ -740,6 +787,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="append every lifecycle event to a JSONL log file",
     )
     runner.add_argument(
+        "--metrics", metavar="PATH",
+        help="write a repro-metrics/v1 JSON snapshot of the run's counters",
+    )
+    runner.add_argument(
+        "--trace", metavar="PATH",
+        help="append per-stage spans (fingerprint, cache probe, match, "
+        "store append) to a JSONL span log",
+    )
+    runner.add_argument(
         "--no-cache", action="store_true",
         help="disable the in-memory result cache",
     )
@@ -788,6 +844,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="merged JSONL store to write (overwritten)",
     )
     merger.set_defaults(handler=_cmd_merge)
+
+    reporter = subparsers.add_parser(
+        "report",
+        help="summarise result stores: per-run mix and cross-run trends",
+        description=(
+            "Scans a directory tree for JSONL result stores ('repro run "
+            "--store', shard stores, daemon run stores), summarises each "
+            "run's class mix, cache hit rates per fingerprint scheme, "
+            "query totals and wall clock, and renders cross-run trends.  "
+            "Scanning is incremental: unchanged stores are reused from "
+            "a .repro-report-cache.json at the root."
+        ),
+    )
+    reporter.add_argument(
+        "results_root", help="directory tree holding JSONL result stores"
+    )
+    reporter.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable repro-report/v1 document instead",
+    )
+    reporter.add_argument(
+        "--no-cache-file", action="store_true",
+        help="re-read every store; neither read nor write the scan cache",
+    )
+    reporter.set_defaults(handler=_cmd_report)
 
     printer = subparsers.add_parser(
         "fingerprint",
@@ -995,7 +1076,8 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     admin.add_argument(
-        "action", choices=("ping", "status", "stats", "cancel", "shutdown")
+        "action",
+        choices=("ping", "status", "stats", "metrics", "cancel", "shutdown"),
     )
     admin.add_argument(
         "run_id", nargs="?",

@@ -27,6 +27,7 @@ leak a stale oracle.  The module-level :func:`repro.core.match` wrapper in
 from __future__ import annotations
 
 import random as _random
+import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, replace
 
@@ -271,6 +272,12 @@ class MatchingEngine:
             call does not pass its own.
         swap_test: optionally a shared pre-configured
             :class:`~repro.quantum.swap_test.SwapTest`.
+        metrics: optional duck-typed metrics registry (anything with
+            ``counter(name)``/``histogram(name)`` à la
+            :class:`repro.obs.metrics.MetricsRegistry`);
+            :meth:`match_many` feeds the ``repro_engine_*`` series.
+            Telemetry only — never part of :class:`MatchingConfig`, so it
+            cannot leak into cache keys.
     """
 
     def __init__(
@@ -280,11 +287,13 @@ class MatchingEngine:
         registry: MatcherRegistry | None = None,
         rng: _random.Random | int | None = None,
         swap_test: SwapTest | None = None,
+        metrics=None,
     ) -> None:
         self._config = config if config is not None else MatchingConfig()
         self._registry = registry if registry is not None else default_registry()
         self._rng = rng
         self._swap_test = swap_test
+        self._metrics = metrics
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -526,9 +535,26 @@ class MatchingEngine:
             equivalence = EquivalenceType.from_label(equivalence)
         cache: dict = {}
         entries: list[BatchEntry] = []
+        metrics = self._metrics
 
         def settle(entry: BatchEntry) -> None:
             entries.append(entry)
+            if metrics is not None:
+                status = (
+                    "cached"
+                    if entry.cached
+                    else ("ok" if entry.matched else "failed")
+                )
+                metrics.counter("repro_engine_pairs_total").inc(status=status)
+                if entry.matched and not entry.cached:
+                    if entry.result.queries:
+                        metrics.counter("repro_engine_queries_total").inc(
+                            entry.result.queries, kind="classical"
+                        )
+                    if entry.result.quantum_queries:
+                        metrics.counter("repro_engine_queries_total").inc(
+                            entry.result.quantum_queries, kind="quantum"
+                        )
             if on_entry is not None:
                 on_entry(entry)
 
@@ -567,6 +593,7 @@ class MatchingEngine:
                     )
                     continue
             matcher_name: str | None = None
+            dispatch_started = time.perf_counter()
             try:
                 spec, oracle1, oracle2, problem, ctx = self._prepare(
                     circuit1, circuit2, pair_equivalence, cache, rng=rng
@@ -586,6 +613,10 @@ class MatchingEngine:
                     )
                 )
             else:
+                if metrics is not None:
+                    metrics.histogram("repro_engine_match_seconds").observe(
+                        time.perf_counter() - dispatch_started
+                    )
                 if result_cache is not None:
                     result_cache.store(
                         circuit1,
@@ -613,6 +644,7 @@ class MatchingEngine:
             registry=self._registry,
             rng=self._rng,
             swap_test=self._swap_test,
+            metrics=self._metrics,
         )
 
 

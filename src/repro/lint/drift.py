@@ -8,6 +8,7 @@ of each documented contract and diffing the sets:
 * event ``to_dict`` keys         <->  the catalogue table in docs/events.md
 * ``MatchingConfig`` fields      <->  the config_digest section of docs/cache-keys.md
 * CLI subcommands and flags      <->  README.md
+* ``METRIC_CATALOG`` names       <->  the metric name catalog in docs/observability.md
 
 Each rule locates its code module by path convention and skips silently
 when that module is not part of the lint target (so fixture trees only
@@ -28,9 +29,11 @@ __all__ = [
     "EventFieldsRule",
     "ConfigDigestRule",
     "ReadmeFlagsRule",
+    "MetricNamesRule",
 ]
 
 _SNAKE_TOKEN = re.compile(r"`([a-z][a-z0-9_]*)`")
+_METRIC_TOKEN = re.compile(r"`(repro_[a-z0-9_]+)`")
 _EVENT_ROW = re.compile(r"^\|\s*`([A-Z][A-Za-z0-9]*)`\s*\|")
 _OP_ROW = re.compile(r"^\|\s*`([a-z][a-z0-9_]*)`\s*\|")
 _HEADING = re.compile(r"^#{1,6}\s")
@@ -292,6 +295,79 @@ class ConfigDigestRule(ProjectRule):
                 )
                 return names, class_node.lineno
         return None
+
+
+class MetricNamesRule(ProjectRule):
+    """METRIC_CATALOG names must match the documented metric catalog."""
+
+    rule_id = "drift-metric-names"
+    summary = ("METRIC_CATALOG metric names and the metric name catalog "
+               "in docs/observability.md must list the same series")
+
+    _METRICS = "repro/obs/metrics.py"
+    _DOC = "docs/observability.md"
+    _SECTION = "Metric name catalog"
+
+    def check(self, project: ProjectContext) -> list[Finding]:
+        module = project.module(self._METRICS)
+        if module is None:
+            return []
+        code_names = self._catalog_names(module)
+        if not code_names:
+            return []
+        doc = project.read_doc(self._DOC)
+        if doc is None:
+            return [self.finding(
+                module.relpath, 1,
+                f"METRIC_CATALOG declares metrics but {self._DOC} does "
+                "not exist",
+            )]
+        _, doc_lines = doc
+        doc_names: dict[str, int] = {}
+        section_seen = False
+        for lineno, line in _section_lines(doc_lines, self._SECTION):
+            section_seen = True
+            for token in _METRIC_TOKEN.findall(line):
+                doc_names.setdefault(token, lineno)
+        if not section_seen:
+            return [self.finding(
+                self._DOC, 1,
+                f"{self._DOC} has no '{self._SECTION}' section to diff "
+                "METRIC_CATALOG against",
+            )]
+        findings: list[Finding] = []
+        for name in sorted(set(code_names) - set(doc_names)):
+            findings.append(self.finding(
+                module.relpath, code_names[name],
+                f"metric {name!r} is in METRIC_CATALOG but the {self._DOC} "
+                "catalog table does not list it",
+            ))
+        for name in sorted(set(doc_names) - set(code_names)):
+            findings.append(self.finding(
+                self._DOC, doc_names[name],
+                f"{self._DOC} lists metric {name!r} but METRIC_CATALOG "
+                "does not declare it",
+            ))
+        return findings
+
+    @staticmethod
+    def _catalog_names(module: ModuleContext) -> dict[str, int]:
+        """Metric name -> line from the METRIC_CATALOG dict literal."""
+        names: dict[str, int] = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(isinstance(target, ast.Name)
+                       and target.id == "METRIC_CATALOG"
+                       for target in node.targets):
+                continue
+            if not isinstance(node.value, ast.Dict):
+                continue
+            for key in node.value.keys:
+                if (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)):
+                    names.setdefault(key.value, key.lineno)
+        return names
 
 
 class ReadmeFlagsRule(ProjectRule):

@@ -27,6 +27,7 @@ from repro.lint.determinism import (
 from repro.lint.drift import (
     ConfigDigestRule,
     EventFieldsRule,
+    MetricNamesRule,
     ProtocolOpsRule,
     ReadmeFlagsRule,
 )
@@ -69,6 +70,7 @@ def default_registry() -> LintRegistry:
         EventFieldsRule(),
         ConfigDigestRule(),
         ReadmeFlagsRule(),
+        MetricNamesRule(),
     ))
 
 

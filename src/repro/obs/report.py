@@ -1,0 +1,380 @@
+"""The ``repro report`` scanner: cross-run trends over JSONL result stores.
+
+Walks a results tree for ``*.jsonl`` run stores, summarises each into a
+:class:`RunSummary` (class mix, per-scheme cache hits, query totals, torn
+lines, and — via the ``<store>.jsonl.meta.json`` sidecar the pipeline
+publishes — wall clock and executor), and renders the collection as text
+tables or ``repro-report/v1`` JSON.
+
+Scanning is incremental: summaries are cached per store in
+``.repro-report-cache.json`` at the results root, keyed by
+``(mtime_ns, size)``, so re-reporting over a large tree only re-reads the
+stores that changed.  Files that merely look like stores (event logs,
+span logs) are recognised by their lines and skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.exceptions import ServiceError
+from repro.service.fingerprint import scheme_label
+
+__all__ = [
+    "REPORT_FORMAT",
+    "RunSummary",
+    "summarize_store",
+    "scan_results",
+    "render_report",
+    "report_to_json",
+]
+
+REPORT_FORMAT = "repro-report/v1"
+
+#: Incremental per-store summary cache at the results root.
+CACHE_FILENAME = ".repro-report-cache.json"
+
+
+@dataclass
+class RunSummary:
+    """What one run store contributed: mix, hit rates, spend, wall clock.
+
+    Pairs are deduplicated by ``pair_id`` (latest record wins), matching
+    :meth:`repro.service.pipeline.ResultStore.load` — a store appended to
+    by a resumed or repeated run still counts each pair once.
+
+    Attributes:
+        name: store path relative to the scanned root.
+        pairs: distinct pairs recorded.
+        statuses: records per final status (``ok``/``cached``/``failed``).
+        classes: pairs per promised equivalence class.
+        scheme_hits: cached pairs per fingerprint scheme of their key.
+        queries: classical queries spent by freshly executed pairs.
+        quantum_queries: quantum queries spent by freshly executed pairs.
+        torn_lines: truncated/corrupt JSONL lines skipped.
+        elapsed: run wall clock from the meta sidecar (``None`` without one).
+        executor: executor description from the meta sidecar.
+    """
+
+    name: str
+    pairs: int = 0
+    statuses: dict[str, int] = field(default_factory=dict)
+    classes: dict[str, int] = field(default_factory=dict)
+    scheme_hits: dict[str, int] = field(default_factory=dict)
+    queries: int = 0
+    quantum_queries: int = 0
+    torn_lines: int = 0
+    elapsed: float | None = None
+    executor: str | None = None
+
+    @property
+    def cache_hits(self) -> int:
+        """Pairs served from the result cache."""
+        return self.statuses.get("cached", 0)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of pairs served from cache (0.0 for an empty store)."""
+        return self.cache_hits / self.pairs if self.pairs else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary with deterministically sorted breakdowns."""
+        return {
+            "name": self.name,
+            "pairs": self.pairs,
+            "statuses": _sorted_counts(self.statuses),
+            "classes": _sorted_counts(self.classes),
+            "scheme_hits": _sorted_counts(self.scheme_hits),
+            "hit_rate": self.hit_rate,
+            "queries": self.queries,
+            "quantum_queries": self.quantum_queries,
+            "torn_lines": self.torn_lines,
+            "elapsed": self.elapsed,
+            "executor": self.executor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSummary":
+        """Rebuild a summary from :meth:`as_dict` output (cache reload)."""
+        return cls(
+            name=data["name"],
+            pairs=data.get("pairs", 0),
+            statuses=dict(data.get("statuses", {})),
+            classes=dict(data.get("classes", {})),
+            scheme_hits=dict(data.get("scheme_hits", {})),
+            queries=data.get("queries", 0),
+            quantum_queries=data.get("quantum_queries", 0),
+            torn_lines=data.get("torn_lines", 0),
+            elapsed=data.get("elapsed"),
+            executor=data.get("executor"),
+        )
+
+
+def _sorted_counts(counts: dict[str, int]) -> dict[str, int]:
+    return {key: counts[key] for key in sorted(counts)}
+
+
+def summarize_store(path: str | os.PathLike, name: str | None = None):
+    """Summarise one JSONL run store; ``None`` when the file is not one.
+
+    A store line is a JSON object carrying ``pair_id`` and ``status``
+    keys; files whose lines are service events (an ``event`` key) or
+    trace spans (a ``span_id`` key), or that yield no store record at
+    all, are not stores.  Unparseable lines count as torn, exactly as
+    :meth:`~repro.service.pipeline.ResultStore.load` treats them.
+    """
+    path = Path(path)
+    if name is None:
+        name = path.name
+    records: dict[object, dict] = {}
+    torn = 0
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    torn += 1
+                    continue
+                if not isinstance(record, dict):
+                    return None
+                if "event" in record or "span_id" in record:
+                    return None
+                if "pair_id" not in record or "status" not in record:
+                    return None
+                pair_id = record["pair_id"]
+                key = pair_id if isinstance(pair_id, str) else f"@line{lineno}"
+                records[key] = record
+    except OSError:
+        return None
+    if not records:
+        return None
+    summary = RunSummary(name=name, pairs=len(records), torn_lines=torn)
+    for record in records.values():
+        status = record.get("status") or "?"
+        summary.statuses[status] = summary.statuses.get(status, 0) + 1
+        label = record.get("equivalence") or "?"
+        summary.classes[label] = summary.classes.get(label, 0) + 1
+        if status == "cached":
+            key = record.get("cache_key")
+            scheme = scheme_label(key) if isinstance(key, str) else "unkeyed"
+            summary.scheme_hits[scheme] = summary.scheme_hits.get(scheme, 0) + 1
+        elif status == "ok":
+            result = record.get("result") or {}
+            summary.queries += result.get("queries", 0)
+            summary.quantum_queries += result.get("quantum_queries", 0)
+    meta = _read_meta(path)
+    if meta is not None:
+        elapsed = meta.get("elapsed")
+        if isinstance(elapsed, (int, float)):
+            summary.elapsed = float(elapsed)
+        executor = meta.get("executor")
+        if isinstance(executor, str):
+            summary.executor = executor
+    return summary
+
+
+def _read_meta(store_path: Path) -> dict | None:
+    """The pipeline's ``repro-run-meta/v1`` sidecar for a store, if sound."""
+    path = store_path.with_name(store_path.name + ".meta.json")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return meta if isinstance(meta, dict) else None
+
+
+def scan_results(
+    root: str | os.PathLike, *, use_cache: bool = True
+) -> list[RunSummary]:
+    """Summarise every run store under ``root`` (sorted by relative path).
+
+    With ``use_cache`` (the default) per-store summaries are reused from
+    ``.repro-report-cache.json`` when the store's ``(mtime_ns, size)``
+    is unchanged, and the refreshed cache is written back atomically.
+
+    Raises:
+        ServiceError: ``root`` is not a directory.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise ServiceError(f"{root}: not a results directory")
+    cache_path = root / CACHE_FILENAME
+    cached_entries: dict[str, dict] = {}
+    if use_cache:
+        try:
+            with open(cache_path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if (
+                isinstance(loaded, dict)
+                and loaded.get("format") == REPORT_FORMAT
+                and isinstance(loaded.get("entries"), dict)
+            ):
+                cached_entries = loaded["entries"]
+        except (OSError, json.JSONDecodeError):
+            cached_entries = {}
+    summaries: list[RunSummary] = []
+    fresh_entries: dict[str, dict] = {}
+    for path in sorted(root.rglob("*.jsonl")):
+        relpath = path.relative_to(root).as_posix()
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        stamp = {"mtime_ns": stat.st_mtime_ns, "size": stat.st_size}
+        entry = cached_entries.get(relpath)
+        if (
+            entry is not None
+            and entry.get("mtime_ns") == stamp["mtime_ns"]
+            and entry.get("size") == stamp["size"]
+        ):
+            summary_data = entry.get("summary")
+            summary = (
+                RunSummary.from_dict(summary_data)
+                if isinstance(summary_data, dict)
+                else None
+            )
+        else:
+            summary = summarize_store(path, name=relpath)
+        fresh_entries[relpath] = {
+            **stamp,
+            "summary": summary.as_dict() if summary is not None else None,
+        }
+        if summary is not None:
+            summaries.append(summary)
+    if use_cache:
+        _write_cache(cache_path, fresh_entries)
+    return summaries
+
+
+def _write_cache(path: Path, entries: dict[str, dict]) -> None:
+    payload = {"format": REPORT_FORMAT, "entries": entries}
+    tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except OSError:
+        # The cache is an optimisation; a read-only tree still reports.
+        tmp.unlink(missing_ok=True)
+
+
+def _totals(summaries: list[RunSummary]) -> dict:
+    pairs = sum(s.pairs for s in summaries)
+    hits = sum(s.cache_hits for s in summaries)
+    return {
+        "runs": len(summaries),
+        "pairs": pairs,
+        "cache_hits": hits,
+        "hit_rate": hits / pairs if pairs else 0.0,
+        "queries": sum(s.queries for s in summaries),
+        "quantum_queries": sum(s.quantum_queries for s in summaries),
+        "torn_lines": sum(s.torn_lines for s in summaries),
+    }
+
+
+def _percent(rate: float) -> str:
+    return f"{100.0 * rate:.1f}%"
+
+
+def _mix(counts: dict[str, int]) -> str:
+    if not counts:
+        return "-"
+    return ", ".join(f"{key}={counts[key]}" for key in sorted(counts))
+
+
+def render_report(summaries: list[RunSummary]) -> str:
+    """Per-run tables plus (for two or more runs) the cross-run trend."""
+    if not summaries:
+        return "no result stores found"
+    rows = []
+    for s in summaries:
+        rows.append(
+            (
+                s.name,
+                s.pairs,
+                s.statuses.get("ok", 0),
+                s.cache_hits,
+                s.statuses.get("failed", 0),
+                _percent(s.hit_rate),
+                s.queries,
+                s.quantum_queries,
+                s.torn_lines,
+                f"{s.elapsed:.2f}s" if s.elapsed is not None else "-",
+                s.executor or "-",
+            )
+        )
+    blocks = [
+        format_table(
+            [
+                "run", "pairs", "ok", "cached", "failed", "hit rate",
+                "queries", "quantum", "torn", "elapsed", "executor",
+            ],
+            rows,
+            title="result stores",
+        )
+    ]
+    mix_rows = [
+        (s.name, _mix(s.classes), _mix(s.scheme_hits)) for s in summaries
+    ]
+    blocks.append(
+        format_table(
+            ["run", "class mix", "scheme hits"],
+            mix_rows,
+            title="composition",
+        )
+    )
+    if len(summaries) >= 2:
+        trend_rows = []
+        previous = None
+        for s in summaries:
+            if previous is None:
+                delta_rate = "-"
+                delta_queries = "-"
+            else:
+                delta_rate = f"{100.0 * (s.hit_rate - previous.hit_rate):+.1f}%"
+                delta_queries = f"{s.queries - previous.queries:+d}"
+            trend_rows.append(
+                (
+                    s.name,
+                    s.pairs,
+                    _percent(s.hit_rate),
+                    delta_rate,
+                    s.queries,
+                    delta_queries,
+                )
+            )
+            previous = s
+        blocks.append(
+            format_table(
+                ["run", "pairs", "hit rate", "Δ hit rate", "queries", "Δ queries"],
+                trend_rows,
+                title="cross-run trend",
+            )
+        )
+    totals = _totals(summaries)
+    blocks.append(
+        f"total: {totals['runs']} runs, {totals['pairs']} pairs, "
+        f"{totals['cache_hits']} cached ({_percent(totals['hit_rate'])}), "
+        f"{totals['queries']} classical + {totals['quantum_queries']} "
+        f"quantum queries, {totals['torn_lines']} torn lines"
+    )
+    return "\n\n".join(blocks)
+
+
+def report_to_json(summaries: list[RunSummary]) -> dict:
+    """The machine-readable report: per-run summaries plus totals."""
+    return {
+        "format": REPORT_FORMAT,
+        "runs": [s.as_dict() for s in summaries],
+        "totals": _totals(summaries),
+    }

@@ -66,6 +66,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
     scheme_hits: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -78,6 +79,19 @@ class CacheStats:
         """Fraction of lookups that hit (0.0 when none were made)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def as_dict(self) -> dict:
+        """JSON-ready counters — the shape the daemon's ``stats`` op reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "scheme_hits": {
+                label: self.scheme_hits[label]
+                for label in sorted(self.scheme_hits)
+            },
+        }
+
 
 class ResultCache(ABC):
     """A key -> JSON-record store with hit/miss accounting.
@@ -88,11 +102,27 @@ class ResultCache(ABC):
     and ``put`` serialise entry access *and* stats updates under one
     re-entrant lock.  Subclass hooks (``_get``/``_put``) always run with
     the lock held and must not take it themselves.
+
+    :meth:`bind_metrics` optionally mirrors the counters into a
+    duck-typed metrics registry (``repro_cache_*_total`` with a ``tier``
+    label, see ``docs/observability.md``); increments happen inside the
+    same lock as the :class:`CacheStats` updates, so the two views always
+    reconcile exactly.
     """
+
+    metrics_tier = "cache"
 
     def __init__(self) -> None:
         self.stats = CacheStats()
         self._lock = threading.RLock()
+        self._metrics = None
+
+    def bind_metrics(self, registry, tier: str | None = None) -> None:
+        """Mirror this tier's counters into ``registry`` from now on."""
+        with self._lock:
+            self._metrics = registry
+            if tier is not None:
+                self.metrics_tier = tier
 
     @abstractmethod
     def _get(self, key: str) -> dict | None:
@@ -112,12 +142,20 @@ class ResultCache(ABC):
             record = self._get(key)
             if record is None:
                 self.stats.misses += 1
+                if self._metrics is not None:
+                    self._metrics.counter("repro_cache_misses_total").inc(
+                        tier=self.metrics_tier
+                    )
             else:
                 self.stats.hits += 1
                 label = scheme_label(key)
                 self.stats.scheme_hits[label] = (
                     self.stats.scheme_hits.get(label, 0) + 1
                 )
+                if self._metrics is not None:
+                    self._metrics.counter("repro_cache_hits_total").inc(
+                        tier=self.metrics_tier
+                    )
             return record
 
     def put(self, key: str, record: dict) -> None:
@@ -125,10 +163,16 @@ class ResultCache(ABC):
         with self._lock:
             self._put(key, record)
             self.stats.stores += 1
+            if self._metrics is not None:
+                self._metrics.counter("repro_cache_stores_total").inc(
+                    tier=self.metrics_tier
+                )
 
 
 class LRUCache(ResultCache):
     """Bounded in-memory cache with least-recently-used eviction."""
+
+    metrics_tier = "memory"
 
     def __init__(self, maxsize: int = 4096) -> None:
         super().__init__()
@@ -153,6 +197,11 @@ class LRUCache(ResultCache):
         self._entries.move_to_end(key)
         while len(self._entries) > self._maxsize:
             self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            if self._metrics is not None:
+                self._metrics.counter("repro_cache_evictions_total").inc(
+                    tier=self.metrics_tier
+                )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -169,6 +218,8 @@ class DiskCache(ResultCache):
     runs sharing a cache directory never clobber each other's in-flight
     writes, and an unreadable or corrupt file reads as a miss.
     """
+
+    metrics_tier = "disk"
 
     def __init__(self, directory: str | os.PathLike) -> None:
         super().__init__()
@@ -216,10 +267,21 @@ class TieredCache(ResultCache):
     to both, so the slow tier is the authoritative record set.
     """
 
+    metrics_tier = "tiered"
+
     def __init__(self, fast: ResultCache, slow: ResultCache) -> None:
         super().__init__()
         self._fast = fast
         self._slow = slow
+
+    def bind_metrics(self, registry, tier: str | None = None) -> None:
+        """Bind this tier and both member tiers (each keeps its own label)."""
+        super().bind_metrics(registry, tier=tier)
+        # Outside our own lock: each member tier serialises the assignment
+        # under its own lock, and nesting their locks inside ours would
+        # invert the get/put ordering.
+        self._fast.bind_metrics(registry)
+        self._slow.bind_metrics(registry)
 
     @property
     def fast(self) -> ResultCache:

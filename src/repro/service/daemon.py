@@ -49,6 +49,7 @@ from repro.circuits.io import load_circuit
 from repro.core.engine import MatchingConfig
 from repro.core.equivalence import EquivalenceType
 from repro.exceptions import DaemonError
+from repro.obs.metrics import MetricsRegistry
 from repro.service.cache import ResultCache, build_cache
 from repro.service.events import Observer, event_from_dict
 from repro.service.executor import Executor, OverlapExecutor, SerialExecutor
@@ -350,8 +351,13 @@ class MatchingDaemon:
         if cache is _DEFAULT_CACHE:
             cache = build_cache(disk_dir=self._store_dir / "cache")
         self._cache = cache
+        self._metrics = MetricsRegistry()
+        if self._cache is not None:
+            self._cache.bind_metrics(self._metrics)
         if executor is None:
-            executor = OverlapExecutor(SerialExecutor(persistent_engine=True))
+            executor = OverlapExecutor(
+                SerialExecutor(persistent_engine=True, metrics=self._metrics)
+            )
         self._executor = executor
         self._verify = verify
         self._pending: _queue.Queue = _queue.Queue(maxsize=max_queued)
@@ -384,6 +390,11 @@ class MatchingDaemon:
     def cache(self) -> ResultCache:
         """The shared result cache."""
         return self._cache
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The daemon-wide metrics registry (the ``metrics`` op's source)."""
+        return self._metrics
 
     def start(self) -> None:
         """Bind the socket and start the accept and worker threads."""
@@ -551,6 +562,11 @@ class MatchingDaemon:
         if op == "stats":
             self._send(writer, self._handle_stats())
             return True
+        if op == "metrics":
+            self._send(
+                writer, self._ok(op="metrics", metrics=self._metrics.snapshot())
+            )
+            return True
         if op == "cancel":
             self._send(writer, self._handle_cancel(frame))
             return True
@@ -693,16 +709,14 @@ class MatchingDaemon:
             "cancelled": states.count(RunState.CANCELLED),
         }
         if self._cache is not None:
-            stats = self._cache.stats
+            # CacheStats.as_dict is the one shape both `stats` and the
+            # `metrics` snapshot reconcile against; scheme_hits attribute
+            # hits to the fingerprint scheme(s) of the hitting key — the
+            # wire-visible evidence that warm wide traffic is served by
+            # probe identities, not re-execution.
             cache_stats = {
-                "hits": stats.hits,
-                "misses": stats.misses,
-                "stores": stats.stores,
+                **self._cache.stats.as_dict(),
                 "size": len(self._cache),
-                # Hits attributed to the fingerprint scheme(s) of the
-                # hitting key — the wire-visible evidence that warm wide
-                # traffic is served by probe identities, not re-execution.
-                "scheme_hits": dict(stats.scheme_hits),
             }
         else:
             cache_stats = None
@@ -795,6 +809,7 @@ class MatchingDaemon:
             executor=self._executor,
             cache=self._cache,
             verify=self._verify,
+            metrics=self._metrics,
         )
         outcome = RunState.COMPLETED
         error: str | None = None
@@ -811,6 +826,7 @@ class MatchingDaemon:
             outcome = RunState.FAILED
             error = f"{type(failure).__name__}: {failure}"
         job.finish(outcome, error)
+        self._metrics.counter("repro_daemon_jobs_total").inc(state=job.state)
 
 
 class DaemonClient:
@@ -962,6 +978,10 @@ class DaemonClient:
     def stats(self) -> dict:
         """Daemon-wide counters: runs, pairs, cache hits, uptime."""
         return self.request({"op": "stats"})
+
+    def metrics(self) -> dict:
+        """The daemon's full ``repro-metrics/v1`` snapshot."""
+        return self.request({"op": "metrics"})
 
     def cancel(self, run_id: str) -> dict:
         """Cancel a queued or running run."""

@@ -130,12 +130,16 @@ class CacheHit(ServiceEvent):
         source: ``"store"`` when resume found the pair in the result
             store, ``"cache"`` when the result cache had it.
         record: the run record the hit produced.
+        duration_s: wall-clock seconds the settle took (fingerprint +
+            cache probe + store append); ``None`` for store hits, which
+            re-use a prior run's record without doing any work.
     """
 
     index: int
     pair_id: str | None
     source: str
     record: dict
+    duration_s: float | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -144,16 +148,24 @@ class CacheHit(ServiceEvent):
             "pair_id": self.pair_id,
             "source": self.source,
             "record": self.record,
+            "duration_s": self.duration_s,
         }
 
 
 @dataclass(frozen=True)
 class TaskCompleted(ServiceEvent):
-    """A freshly executed pair produced witnesses."""
+    """A freshly executed pair produced witnesses.
+
+    ``duration_s`` is the matcher-dispatch wall clock measured by the
+    executor (in the worker process for pooled backends).  It never
+    enters the persisted record — stores stay byte-identical across
+    serial, parallel and sharded runs — so it rides on the event only.
+    """
 
     index: int
     pair_id: str | None
     record: dict
+    duration_s: float | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -161,16 +173,22 @@ class TaskCompleted(ServiceEvent):
             "index": self.index,
             "pair_id": self.pair_id,
             "record": self.record,
+            "duration_s": self.duration_s,
         }
 
 
 @dataclass(frozen=True)
 class TaskFailed(ServiceEvent):
-    """A freshly executed pair's matcher raised instead of matching."""
+    """A freshly executed pair's matcher raised instead of matching.
+
+    ``duration_s`` mirrors :class:`TaskCompleted`: the executor-measured
+    dispatch wall clock, carried on the event and never in the record.
+    """
 
     index: int
     pair_id: str | None
     record: dict
+    duration_s: float | None = None
 
     @property
     def error(self) -> str | None:
@@ -183,6 +201,7 @@ class TaskFailed(ServiceEvent):
             "index": self.index,
             "pair_id": self.pair_id,
             "record": self.record,
+            "duration_s": self.duration_s,
         }
 
 
@@ -288,6 +307,7 @@ def event_from_dict(data: dict) -> ServiceEvent:
             pair_id=data.get("pair_id"),
             source=data.get("source", "cache"),
             record=data.get("record") or {},
+            duration_s=data.get("duration_s"),
         )
     if kind in ("TaskCompleted", "TaskFailed"):
         event_type = TaskCompleted if kind == "TaskCompleted" else TaskFailed
@@ -295,6 +315,7 @@ def event_from_dict(data: dict) -> ServiceEvent:
             index=data.get("index", 0),
             pair_id=data.get("pair_id"),
             record=data.get("record") or {},
+            duration_s=data.get("duration_s"),
         )
     if kind == "StoreFlushed":
         return StoreFlushed(
@@ -417,6 +438,32 @@ class EventLogObserver:
         self.close()
 
 
+class _TimingStats:
+    """Sum/min/max accumulator over the ``duration_s`` of one event kind."""
+
+    __slots__ = ("count", "total_s", "min_s", "max_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s: float | None = None
+        self.max_s: float | None = None
+
+    def add(self, duration_s: float) -> None:
+        self.count += 1
+        self.total_s += duration_s
+        self.min_s = duration_s if self.min_s is None else min(self.min_s, duration_s)
+        self.max_s = duration_s if self.max_s is None else max(self.max_s, duration_s)
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+        }
+
+
 class StatsObserver:
     """Count events in memory — the assertion-friendly observer.
 
@@ -427,6 +474,10 @@ class StatsObserver:
         cache_hits, resumed: pairs served without executing (``resumed``
             counts the store-sourced subset of ``cache_hits_total``).
         store_flushes: records flushed to the JSONL store.
+        completed_timing, cache_hit_timing: sum/min/max accumulators over
+            the ``duration_s`` of :class:`TaskCompleted` and
+            :class:`CacheHit` events (events without a duration — store
+            hits, or streams from older producers — are not counted).
     """
 
     def __init__(self) -> None:
@@ -438,6 +489,8 @@ class StatsObserver:
         self.cache_hits = 0
         self.resumed = 0
         self.store_flushes = 0
+        self.completed_timing = _TimingStats()
+        self.cache_hit_timing = _TimingStats()
 
     def notify(self, event: ServiceEvent) -> None:
         if isinstance(event, RunStarted):
@@ -446,6 +499,8 @@ class StatsObserver:
             self.started += 1
         elif isinstance(event, TaskCompleted):
             self.completed += 1
+            if event.duration_s is not None:
+                self.completed_timing.add(event.duration_s)
         elif isinstance(event, TaskFailed):
             self.failed += 1
         elif isinstance(event, CacheHit):
@@ -453,6 +508,8 @@ class StatsObserver:
                 self.resumed += 1
             else:
                 self.cache_hits += 1
+            if event.duration_s is not None:
+                self.cache_hit_timing.add(event.duration_s)
         elif isinstance(event, StoreFlushed):
             self.store_flushes += 1
         elif isinstance(event, RunCompleted):
@@ -469,4 +526,8 @@ class StatsObserver:
             "cache_hits": self.cache_hits,
             "resumed": self.resumed,
             "store_flushes": self.store_flushes,
+            "timings": {
+                "completed": self.completed_timing.as_dict(),
+                "cache_hit": self.cache_hit_timing.as_dict(),
+            },
         }

@@ -38,11 +38,12 @@ import multiprocessing
 import os
 import queue as _queue
 import threading
+import time
 import warnings
 from abc import ABC, abstractmethod
 from collections.abc import Iterable, Iterator
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.engine import MatchingConfig, MatchingEngine
 from repro.service import serialize
@@ -95,6 +96,11 @@ class TaskOutcome:
             when the matcher failed.
         error: ``"ExceptionName: message"`` on failure.
         matcher: name of the registry entry that ran.
+        duration_s: wall clock of the engine dispatch, measured where the
+            task ran (the worker process for pooled backends).  Excluded
+            from equality — a replayed outcome with a different timing is
+            still the *same* outcome, which is what keeps serial and
+            batch comparisons (and byte-identical records) meaningful.
     """
 
     index: int
@@ -103,6 +109,7 @@ class TaskOutcome:
     result: dict | None = None
     error: str | None = None
     matcher: str | None = None
+    duration_s: float | None = field(default=None, compare=False)
 
     @property
     def matched(self) -> bool:
@@ -125,9 +132,11 @@ def derive_seed(base_seed: int | None, index: int) -> int | None:
 
 def _execute_task(engine: MatchingEngine, task: PairTask) -> TaskOutcome:
     """Run one task through the engine's batch path (shared error format)."""
+    started = time.perf_counter()
     report = engine.match_many(
         [(task.circuit1, task.circuit2, task.equivalence)], rng=task.seed
     )
+    duration_s = time.perf_counter() - started
     entry = report.entries[0]
     return TaskOutcome(
         index=task.index,
@@ -136,6 +145,7 @@ def _execute_task(engine: MatchingEngine, task: PairTask) -> TaskOutcome:
         result=serialize.result_to_dict(entry.result) if entry.result else None,
         error=entry.error,
         matcher=entry.matcher,
+        duration_s=duration_s,
     )
 
 
@@ -197,20 +207,30 @@ class SerialExecutor(Executor):
             process (the matching daemon) wants: the engine — registry
             resolution and all — stays warm between submissions.  Off by
             default so one-shot runs keep their no-shared-state property.
+        metrics: optional metrics registry (duck-typed
+            :class:`repro.obs.metrics.MetricsRegistry`) handed to every
+            engine this executor builds, so engine-level counters
+            (``repro_engine_pairs_total`` and friends) land in-process.
+            Pooled backends cannot offer this — their engines live in
+            worker processes — which is why the knob sits here and not on
+            :class:`Executor`.
     """
 
     name = "serial"
 
-    def __init__(self, *, persistent_engine: bool = False) -> None:
+    def __init__(self, *, persistent_engine: bool = False, metrics=None) -> None:
         self._persistent = persistent_engine
+        self._metrics = metrics
         self._engines: dict[MatchingConfig, MatchingEngine] = {}
 
     def _engine(self, config: MatchingConfig) -> MatchingEngine:
         if not self._persistent:
-            return MatchingEngine(config)
+            return MatchingEngine(config, metrics=self._metrics)
         engine = self._engines.get(config)
         if engine is None:
-            engine = self._engines[config] = MatchingEngine(config)
+            engine = self._engines[config] = MatchingEngine(
+                config, metrics=self._metrics
+            )
         return engine
 
     def stream(

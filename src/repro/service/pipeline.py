@@ -28,6 +28,7 @@ write interchangeable stores.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -77,10 +78,47 @@ __all__ = [
     "ResultStore",
     "ServiceReport",
     "MatchingService",
+    "RUN_META_FORMAT",
     "parse_shard",
     "shard_index",
     "merge_stores",
 ]
+
+#: Format tag of the per-run ``<store>.meta.json`` timing sidecar.
+RUN_META_FORMAT = "repro-run-meta/v1"
+
+
+class _NullSpan:
+    """Placeholder span when tracing is off."""
+
+    __slots__ = ()
+    span_id = None
+
+    def end(self) -> None:
+        return None
+
+
+class _NullTracer:
+    """Do-nothing tracer, so the pipeline never branches on tracing.
+
+    The service takes tracers duck-typed (``repro.service`` never imports
+    ``repro.obs``); pass a :class:`repro.obs.trace.Tracer` to get a real
+    span log with the same call sites.
+    """
+
+    def start(self, name, parent=None, **attrs):
+        return _NULL_SPAN
+
+    @contextlib.contextmanager
+    def span(self, name, parent=None, **attrs):
+        yield _NULL_SPAN
+
+    def record(self, name, duration_s, parent=None, **attrs):
+        return _NULL_SPAN
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_TRACER = _NullTracer()
 
 
 class ResultStore:
@@ -94,6 +132,10 @@ class ResultStore:
 
     def __init__(self, path: str | Path) -> None:
         self._path = Path(path)
+        #: Unparseable lines skipped by the most recent :meth:`load` —
+        #: surfaced as the ``repro_store_torn_lines`` gauge and in
+        #: ``repro report``, so silent corruption stays visible.
+        self.torn_lines = 0
 
     @property
     def path(self) -> Path:
@@ -111,9 +153,10 @@ class ResultStore:
         Unparseable lines (a crash mid-append leaves at most one, at the
         end) are skipped with a :class:`UserWarning` naming the line, so a
         resume both survives the torn record and tells the operator it
-        happened.
+        happened; :attr:`torn_lines` counts them for this load.
         """
         records: dict[str, dict] = {}
+        self.torn_lines = 0
         if not self.exists:
             return records
         with open(self._path, "r", encoding="utf-8") as handle:
@@ -124,6 +167,7 @@ class ResultStore:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
+                    self.torn_lines += 1
                     warnings.warn(
                         f"{self._path}:{lineno}: skipping truncated or "
                         "malformed record (crash mid-append?); the pair "
@@ -248,6 +292,40 @@ def merge_stores(
         os.fsync(handle.fileno())
     os.replace(tmp, output)
     return len(records)
+
+
+def _write_run_meta(store: ResultStore, report: "ServiceReport", seed) -> None:
+    """Publish the run's ``<store>.meta.json`` timing sidecar atomically.
+
+    Store records are byte-identical across serial, parallel and sharded
+    runs, so wall-clock facts must never enter them; this sidecar carries
+    the run's aggregate timing instead, and ``repro report`` merges it
+    back into the per-store summary.  Written via tmp + rename so a crash
+    mid-write cannot leave a torn sidecar.
+    """
+    meta = {
+        "format": RUN_META_FORMAT,
+        "store": store.path.name,
+        "executor": report.executor,
+        "seed": seed,
+        "elapsed": report.elapsed,
+        "total": report.total,
+        "matched": report.matched,
+        "failed": report.failed,
+        "resumed": report.resumed,
+        "cache_hits": report.cache_hits,
+        "executed": report.executed,
+        "torn_lines": store.torn_lines,
+        "shard": list(report.shard) if report.shard is not None else None,
+    }
+    path = store.path.with_name(store.path.name + ".meta.json")
+    tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
 
 
 class ServiceReport:
@@ -408,6 +486,15 @@ class MatchingService:
             keys and pair digests are computed with; defaults to the one
             the config's ``fingerprint_scheme``/``probe_count`` knobs
             describe.
+        metrics: optional metrics registry (duck-typed
+            :class:`repro.obs.metrics.MetricsRegistry`): runs, per-pair
+            outcomes, task/run latency histograms and store flushes are
+            counted on it.  Bind the same registry to the cache
+            (``cache.bind_metrics``) for per-tier hit/miss counters.
+        tracer: optional span tracer (duck-typed
+            :class:`repro.obs.trace.Tracer`): each pair gets a root
+            ``pair`` span with ``fingerprint`` / ``cache_probe`` /
+            ``match`` / ``store_append`` children.
     """
 
     def __init__(
@@ -419,6 +506,8 @@ class MatchingService:
         verify: bool = False,
         observers: Sequence[Observer] = (),
         fingerprint_registry: FingerprintRegistry | None = None,
+        metrics=None,
+        tracer=None,
     ) -> None:
         self._config = config if config is not None else MatchingConfig()
         self._executor = executor if executor is not None else SerialExecutor()
@@ -430,6 +519,8 @@ class MatchingService:
             if fingerprint_registry is not None
             else registry_for_config(self._config)
         )
+        self._metrics = metrics
+        self._tracer = tracer if tracer is not None else _NULL_TRACER
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -456,6 +547,11 @@ class MatchingService:
     def fingerprint_registry(self) -> FingerprintRegistry:
         """The identity registry cache keys are computed with."""
         return self._registry
+
+    @property
+    def metrics(self):
+        """The metrics registry runs are counted on, if any."""
+        return self._metrics
 
     # -- internal --------------------------------------------------------------
     def _cache_key(self, unit: _Unit) -> str | None:
@@ -518,6 +614,8 @@ class MatchingService:
         so an interrupt loses at most the pair in flight.
         """
         start = time.perf_counter()
+        metrics = self._metrics
+        tracer = self._tracer
         store_path = str(store.path) if store is not None else None
         if store is not None:
             store.touch()
@@ -528,18 +626,31 @@ class MatchingService:
             seed=seed,
             shard=shard,
         )
+        if metrics is not None:
+            metrics.counter("repro_runs_total").inc()
+            if store is not None:
+                # Torn lines the resume load skipped (0 on a fresh store).
+                metrics.gauge("repro_store_torn_lines").set(store.torn_lines)
 
         records: dict[int, dict] = {}
         resumed = 0
         cache_hits = 0
         flushed = 0
         pending: list[_Unit] = []
+        pair_spans: dict[int, object] = {}
 
-        def flush(record: dict) -> StoreFlushed:
+        def flush(record: dict, parent=None) -> StoreFlushed:
             nonlocal flushed
-            store.append(record)
+            with tracer.span("store_append", parent=parent):
+                store.append(record)
             flushed += 1
+            if metrics is not None:
+                metrics.counter("repro_store_flushes_total").inc()
             return StoreFlushed(path=store_path, records_written=flushed)
+
+        def settled(outcome_label: str) -> None:
+            if metrics is not None:
+                metrics.counter("repro_run_pairs_total").inc(outcome=outcome_label)
 
         for unit in units:
             if unit.pair_id is not None and unit.pair_id in done:
@@ -550,6 +661,7 @@ class MatchingService:
                 record["status"] = "resumed"
                 records[unit.position] = record
                 resumed += 1
+                settled("resumed")
                 yield CacheHit(
                     index=unit.position,
                     pair_id=unit.pair_id,
@@ -557,9 +669,15 @@ class MatchingService:
                     record=record,
                 )
                 continue
-            unit.key = self._cache_key(unit)
+            pair_span = tracer.start(
+                "pair", pair_id=unit.pair_id, index=unit.position
+            )
+            settle_started = time.perf_counter()
+            with tracer.span("fingerprint", parent=pair_span):
+                unit.key = self._cache_key(unit)
             if unit.key is not None:
-                cached = self._cache.get(unit.key)
+                with tracer.span("cache_probe", parent=pair_span):
+                    cached = self._cache.get(unit.key)
                 if cached is not None:
                     record = self._base_record(unit)
                     record.update(
@@ -570,18 +688,24 @@ class MatchingService:
                     )
                     records[unit.position] = record
                     cache_hits += 1
+                    settled("cached")
                     # Persist before yielding: a consumer that stops at
                     # this event must still find the record in the store.
-                    flushed_event = flush(record) if store is not None else None
+                    flushed_event = (
+                        flush(record, pair_span) if store is not None else None
+                    )
+                    pair_span.end()
                     yield CacheHit(
                         index=unit.position,
                         pair_id=unit.pair_id,
                         source="cache",
                         record=record,
+                        duration_s=time.perf_counter() - settle_started,
                     )
                     if flushed_event is not None:
                         yield flushed_event
                     continue
+            pair_spans[unit.position] = pair_span
             pending.append(unit)
 
         by_position = {unit.position: unit for unit in pending}
@@ -643,12 +767,34 @@ class MatchingService:
                 )
             records[outcome.index] = record
             executed += 1
+            pair_span = pair_spans.pop(outcome.index, _NULL_SPAN)
+            if outcome.duration_s is not None:
+                # The executor measured the matcher dispatch (possibly in
+                # a worker process); log it as a completed child span.
+                tracer.record(
+                    "match",
+                    outcome.duration_s,
+                    parent=pair_span,
+                    pair_id=outcome.pair_id,
+                    matcher=outcome.matcher,
+                )
+                if metrics is not None:
+                    metrics.histogram("repro_task_seconds").observe(
+                        outcome.duration_s
+                    )
+            settled("completed" if outcome.matched else "failed")
             # Persist before yielding the completion event, so stopping
             # the stream at any event never loses an already-seen pair.
-            flushed_event = flush(record) if store is not None else None
+            flushed_event = (
+                flush(record, pair_span) if store is not None else None
+            )
+            pair_span.end()
             event_type = TaskCompleted if outcome.matched else TaskFailed
             yield event_type(
-                index=outcome.index, pair_id=outcome.pair_id, record=record
+                index=outcome.index,
+                pair_id=outcome.pair_id,
+                record=record,
+                duration_s=outcome.duration_s,
             )
             if flushed_event is not None:
                 yield flushed_event
@@ -665,6 +811,15 @@ class MatchingService:
             store_path=store.path if store is not None else None,
             shard=shard,
         )
+        if metrics is not None:
+            metrics.histogram("repro_run_seconds").observe(report.elapsed)
+            if store is not None:
+                metrics.gauge("repro_store_torn_lines").set(store.torn_lines)
+        if store is not None:
+            # Durations never enter the records (stores stay byte-identical
+            # across serial/parallel/shard runs); the run's wall clock goes
+            # in an atomic sidecar that `repro report` merges back in.
+            _write_run_meta(store, report, seed)
         yield RunCompleted(report=report)
 
     def _consume(

@@ -133,6 +133,33 @@ class TestStatsObserver:
         assert isinstance(StatsObserver(), Observer)
         assert isinstance(ProgressObserver(stream=io.StringIO()), Observer)
 
+    def test_accumulates_duration_timings(self):
+        stats = StatsObserver()
+        for duration in (0.5, 0.25, 0.75):  # dyadic: sums are exact
+            stats.notify(TaskCompleted(index=0, pair_id="p",
+                                       record={}, duration_s=duration))
+        stats.notify(TaskCompleted(index=1, pair_id="q", record={}))
+        stats.notify(CacheHit(index=2, pair_id="r", source="cache",
+                              record={}, duration_s=0.25))
+        stats.notify(CacheHit(index=3, pair_id="s", source="store",
+                              record={}))  # store resume: no duration
+        timings = stats.as_dict()["timings"]
+        assert timings["completed"] == {
+            "count": 3, "total_s": 1.5, "min_s": 0.25, "max_s": 0.75,
+        }
+        assert timings["cache_hit"] == {
+            "count": 1, "total_s": 0.25, "min_s": 0.25, "max_s": 0.25,
+        }
+
+    def test_live_run_populates_completed_timings(self, corpus):
+        stats = StatsObserver()
+        MatchingService(observers=[stats]).run_manifest(corpus, seed=3)
+        timing = stats.completed_timing
+        assert timing.count == stats.completed > 0
+        assert timing.min_s is not None and timing.min_s >= 0.0
+        assert timing.max_s >= timing.min_s
+        assert timing.total_s >= timing.max_s
+
 
 class TestProgressObserver:
     def test_line_per_n_pairs(self, corpus):
@@ -149,6 +176,53 @@ class TestProgressObserver:
     def test_rejects_nonpositive_cadence(self):
         with pytest.raises(ValueError):
             ProgressObserver(every=0)
+        with pytest.raises(ValueError):
+            ProgressObserver(every=-3)
+
+    def test_exact_line_formats(self):
+        """The lines are a stable, parseable contract, not just noise."""
+        out = io.StringIO()
+        observer = ProgressObserver(stream=out, every=2)
+        observer.notify(RunStarted(total=3, executor="serial",
+                                   store_path=None, seed=7, shard=None))
+        observer.notify(TaskCompleted(index=0, pair_id="pair-a",
+                                      record={"status": "ok"}))
+        observer.notify(TaskFailed(index=1, pair_id="pair-b",
+                                   record={"status": "failed"}))
+        observer.notify(CacheHit(index=2, pair_id=None, source="cache",
+                                 record={}))
+        observer.notify(RunCompleted(report=ReportSummary(
+            total=3, matched=1, failed=1, resumed=0, cache_hits=1,
+            executed=2, elapsed=0.5, executor="serial",
+        )))
+        assert out.getvalue().splitlines() == [
+            "run started: 3 pairs via serial",
+            # every=2: pair 1 is silent, pair 2 prints, pair 3 (a cache
+            # hit with no pair_id: index label, '?' status) is silent.
+            "[2/3] pair-b: failed",
+            "run completed: 3/3 pairs, 1 failed",
+        ]
+
+    def test_every_n_batching_and_index_fallback(self):
+        out = io.StringIO()
+        observer = ProgressObserver(stream=out, every=3)
+        observer.notify(RunStarted(total=4, executor="serial",
+                                   store_path=None, seed=None, shard=None))
+        for index in range(4):
+            observer.notify(CacheHit(index=index, pair_id=None,
+                                     source="cache", record={}))
+        observer.notify(RunCompleted(report=ReportSummary(
+            total=4, matched=0, failed=0, resumed=0, cache_hits=4,
+            executed=0, elapsed=0.1, executor="serial",
+        )))
+        lines = out.getvalue().splitlines()
+        # Only the third pair hits the cadence; missing pair_id falls
+        # back to the index and a record without "status" prints '?'.
+        assert lines == [
+            "run started: 4 pairs via serial",
+            "[3/4] 2: ?",
+            "run completed: 4/4 pairs, 0 failed",
+        ]
 
 
 class TestEventLogObserver:
@@ -188,6 +262,28 @@ class TestEventRoundTrip:
         for event in events:
             rebuilt = event_from_dict(json.loads(json.dumps(event.to_dict())))
             assert rebuilt == event
+
+    def test_duration_fields_round_trip(self):
+        """`duration_s` is part of the wire form — telemetry survives a
+        relay, both as a value and as its `None` absence."""
+        timed = [
+            CacheHit(index=0, pair_id="p", source="cache",
+                     record={"status": "cached"}, duration_s=0.0025),
+            TaskCompleted(index=1, pair_id="q", record={"status": "ok"},
+                          duration_s=0.75),
+            TaskFailed(index=2, pair_id="r", record={"error": "E"},
+                       duration_s=1.5),
+        ]
+        for event in timed:
+            payload = json.loads(json.dumps(event.to_dict()))
+            assert payload["duration_s"] == event.duration_s
+            rebuilt = event_from_dict(payload)
+            assert rebuilt == event
+            assert rebuilt.duration_s == event.duration_s
+        # Store resumes and older producers send null durations.
+        bare = TaskCompleted(index=0, pair_id="p", record={"status": "ok"})
+        assert bare.duration_s is None
+        assert event_from_dict(bare.to_dict()).duration_s is None
 
     def test_run_completed_comes_back_as_summary(self, corpus):
         stream = MatchingService().stream(corpus, seed=3)

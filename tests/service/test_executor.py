@@ -30,12 +30,19 @@ from repro.service.executor import (
 
 
 def _canonical(outcomes) -> bytes:
-    """Outcomes as canonical JSON bytes, sorted by task index."""
+    """Outcomes as canonical JSON bytes, sorted by task index.
+
+    ``duration_s`` is dropped: it is telemetry (``compare=False`` on the
+    dataclass), measured per process, and never part of the byte-identity
+    contract between serial and parallel execution.
+    """
+    payload = []
+    for outcome in outcomes:
+        data = dataclasses.asdict(outcome)
+        data.pop("duration_s", None)
+        payload.append(data)
     return json.dumps(
-        sorted(
-            (dataclasses.asdict(outcome) for outcome in outcomes),
-            key=lambda outcome: outcome["index"],
-        ),
+        sorted(payload, key=lambda outcome: outcome["index"]),
         sort_keys=True,
     ).encode("utf-8")
 
