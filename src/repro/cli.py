@@ -1,7 +1,7 @@
 """Command-line interface.
 
-Sixteen sub-commands cover the workflows a user of the library reaches
-for most often without writing Python:
+Seventeen sub-commands cover the workflows a user of the library
+reaches for most often without writing Python:
 
 * ``repro info CIRCUIT.real`` — line/gate counts, cost metrics and an ASCII
   drawing of a circuit file;
@@ -44,6 +44,11 @@ for most often without writing Python:
 * ``repro watch`` — subscribe to a daemon run's live event stream;
 * ``repro daemon`` — daemon administration (``ping`` / ``status`` /
   ``stats`` / ``metrics`` / ``cancel`` / ``shutdown``);
+* ``repro fleet`` — cross-host sharded runs: ``run`` dispatches one
+  shard of a manifest to each healthy ``--peer`` daemon, watches the
+  event streams, reassigns dead/hung workers and merges the shard
+  stores byte-identically to a serial run (``docs/fleet.md``);
+  ``peers``/``status`` probe the registered workers;
 * ``repro report`` — scan a tree of JSONL result stores and print
   per-run summaries plus cross-run trends (``docs/observability.md``);
 * ``repro lint`` — run the project's static invariant checks
@@ -388,20 +393,41 @@ def _cmd_merge(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 # Daemon commands
 # ---------------------------------------------------------------------------
+def _read_token_file(path: str) -> str:
+    """The shared secret from an --auth-token-file, stripped."""
+    try:
+        token = Path(path).read_text(encoding="utf-8").strip()
+    except OSError as error:
+        raise ReproError(f"cannot read --auth-token-file: {error}") from None
+    if not token:
+        raise ReproError(f"--auth-token-file {path} holds no token")
+    return token
+
+
 def _daemon_client(args: argparse.Namespace) -> DaemonClient:
     """Build a client from the shared daemon-address flags."""
+    token = None
+    if getattr(args, "auth_token_file", None) is not None:
+        token = _read_token_file(args.auth_token_file)
     if args.socket is not None:
-        return DaemonClient(socket_path=args.socket, timeout=args.timeout)
+        return DaemonClient(
+            socket_path=args.socket, timeout=args.timeout, auth_token=token
+        )
     if args.host is not None:
         if args.port is None:
             raise ReproError("--host needs --port")
-        return DaemonClient(host=args.host, port=args.port, timeout=args.timeout)
+        return DaemonClient(
+            host=args.host, port=args.port, timeout=args.timeout,
+            auth_token=token,
+        )
     if args.address_file is not None:
         try:
             address = Path(args.address_file).read_text(encoding="utf-8").strip()
         except OSError as error:
             raise ReproError(f"cannot read --address-file: {error}") from None
-        return DaemonClient.from_address(address, timeout=args.timeout)
+        return DaemonClient.from_address(
+            address, timeout=args.timeout, auth_token=token
+        )
     raise ReproError(
         "name the daemon with --socket PATH, --host/--port, or --address-file"
     )
@@ -482,6 +508,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.socket is None and args.host is None:
         args.socket = str(Path(args.store_dir) / "daemon.sock")
+    token = None
+    if args.auth_token_file is not None:
+        token = _read_token_file(args.auth_token_file)
     daemon = MatchingDaemon(
         MatchingConfig(
             epsilon=args.epsilon,
@@ -499,6 +528,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         executor=OverlapExecutor(inner),
         verify=args.verify,
         max_queued=args.max_queued,
+        auth_token=token,
+        insecure=args.insecure,
     )
     daemon.start()
     print(f"listening on {daemon.address} (store dir: {daemon.store_dir})")
@@ -569,6 +600,94 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
             response = client.shutdown()
     print(json.dumps(response, indent=2, sort_keys=True))
     return 0
+
+
+def _fleet_coordinator(args: argparse.Namespace, observers, metrics):
+    from repro.fleet import FleetCoordinator
+
+    if not args.peer:
+        raise ReproError("fleet needs at least one --peer HOST:PORT")
+    token = None
+    if args.auth_token_file is not None:
+        token = _read_token_file(args.auth_token_file)
+    return FleetCoordinator(
+        args.peer,
+        work_dir=args.work_dir,
+        auth_token=token,
+        observers=observers,
+        metrics=metrics,
+        heartbeat_s=args.heartbeat,
+        hang_timeout_s=args.hang_timeout,
+        max_attempts=args.max_attempts,
+        timeout=args.timeout,
+    )
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.action != "run":
+        # peers: one health probe per registered worker.  status: the
+        # probes plus each healthy worker's stats frame, as one JSON doc.
+        coordinator = _fleet_coordinator(args, [], None)
+        probes = coordinator.check_peers()
+        if args.action == "peers":
+            for probe in probes:
+                state = "healthy" if probe["healthy"] else (
+                    f"unhealthy ({probe.get('error', probe['reason'])})"
+                )
+                print(f"{probe['address']}: {state}")
+        else:
+            token = None
+            if args.auth_token_file is not None:
+                token = _read_token_file(args.auth_token_file)
+            for probe in probes:
+                if not probe["healthy"]:
+                    continue
+                with DaemonClient.from_address(
+                    probe["address"], timeout=args.timeout, auth_token=token
+                ) as client:
+                    frame = client.stats()
+                    probe["stats"] = {
+                        key: frame[key]
+                        for key in (
+                            "executor", "runs", "pairs", "cache", "uptime"
+                        )
+                        if key in frame
+                    }
+            print(json.dumps({"peers": probes}, indent=2, sort_keys=True))
+        return 0 if all(probe["healthy"] for probe in probes) else 1
+
+    if args.manifest is None:
+        raise ReproError("fleet run needs a MANIFEST")
+    observers, event_log = _watch_observers(args)
+    metrics = None
+    if args.metrics is not None:
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    coordinator = _fleet_coordinator(args, observers, metrics)
+    try:
+        report = coordinator.run(
+            args.manifest, seed=args.seed, output=args.output
+        )
+    finally:
+        if event_log is not None:
+            event_log.close()
+        if metrics is not None:
+            metrics.write_json(args.metrics)
+    for shard in report.shards:
+        moved = (
+            f" (reassigned from {', '.join(shard.reassigned_from)})"
+            if shard.reassigned_from
+            else ""
+        )
+        print(
+            f"shard {shard.index}/{shard.count}: {len(shard.settled)} pairs "
+            f"on {shard.peer} as {shard.remote_run_id}{moved}"
+        )
+    print(report.summary())
+    if args.metrics:
+        print(f"metrics: {args.metrics}")
+    return 0 if report.failed == 0 else 1
 
 
 def _cmd_fingerprint(args: argparse.Namespace) -> int:
@@ -935,6 +1054,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--timeout", type=float, default=None, metavar="SECONDS",
             help="socket timeout (default: block forever)",
         )
+        sub.add_argument(
+            "--auth-token-file", metavar="PATH",
+            help="file holding the daemon's shared secret (sent as an "
+            "'auth' handshake right after connecting)",
+        )
 
     def add_watch_options(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -976,6 +1100,16 @@ def build_parser() -> argparse.ArgumentParser:
     server.add_argument(
         "--address-file", metavar="PATH",
         help="write the bound address here (what clients' --address-file reads)",
+    )
+    server.add_argument(
+        "--auth-token-file", metavar="PATH",
+        help="require clients to present this file's shared secret in an "
+        "'auth' handshake (mandatory for non-loopback --host binds)",
+    )
+    server.add_argument(
+        "--insecure", action="store_true",
+        help="serve on a non-loopback --host without an auth token "
+        "(refused otherwise)",
     )
     server.add_argument(
         "--max-queued", type=int, default=16, metavar="N",
@@ -1085,6 +1219,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_daemon_address(admin)
     admin.set_defaults(handler=_cmd_daemon)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="coordinate a sharded run across worker daemons",
+        description=(
+            "Cross-host sharded runs (docs/fleet.md).  'run' probes the "
+            "--peer daemons, dispatches one deterministic shard of the "
+            "manifest to each healthy one, watches every event stream, "
+            "reassigns the shard of a dead or hung worker (the retry "
+            "resumes from mirrored records at zero oracle-query cost) "
+            "and merges the shard stores into a store byte-identical to "
+            "an unsharded serial run.  'peers' pings each worker; "
+            "'status' adds each healthy worker's stats frame."
+        ),
+    )
+    fleet.add_argument("action", choices=("run", "status", "peers"))
+    fleet.add_argument(
+        "manifest", nargs="?",
+        help="manifest.json or corpus directory (required for run; the "
+        "path must resolve on every worker's host)",
+    )
+    fleet.add_argument(
+        "--peer", action="append", default=[], metavar="ADDR",
+        help="a worker daemon: HOST:PORT, tcp:<host>:<port> or "
+        "unix:<path> (repeatable; one shard per healthy peer)",
+    )
+    fleet.add_argument(
+        "--work-dir", default="./fleet-runs", metavar="DIR",
+        help="coordinator state: the crash-safe run-id counter and one "
+        "directory of fetched shard stores per run (default ./fleet-runs)",
+    )
+    fleet.add_argument(
+        "--output", metavar="PATH",
+        help="merged store to write (default <work-dir>/<run-id>/merged.jsonl)",
+    )
+    fleet.add_argument("--seed", type=int, default=None)
+    fleet.add_argument(
+        "--auth-token-file", metavar="PATH",
+        help="shared secret presented to every peer (required when "
+        "peers bind non-loopback TCP)",
+    )
+    fleet.add_argument(
+        "--heartbeat", type=float, default=5.0, metavar="SECONDS",
+        help="silence on an event stream before the worker is probed "
+        "out-of-band (default 5)",
+    )
+    fleet.add_argument(
+        "--hang-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="silence budget for a running shard; past it the worker "
+        "counts as hung and the shard is reassigned (default 30)",
+    )
+    fleet.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="dispatch attempts per shard before the run fails (default 3)",
+    )
+    fleet.add_argument(
+        "--timeout", type=float, default=10.0, metavar="SECONDS",
+        help="socket timeout for one-shot control requests (default 10)",
+    )
+    fleet.add_argument(
+        "--metrics", metavar="PATH",
+        help="write a repro-metrics/v1 snapshot of the fleet counters",
+    )
+    add_watch_options(fleet)
+    fleet.set_defaults(handler=_cmd_fleet)
 
     decider = subparsers.add_parser("decide", help="non-promise decision")
     add_matching_arguments(decider)

@@ -25,6 +25,9 @@ __all__ = [
     "ServiceError",
     "FingerprintError",
     "DaemonError",
+    "DaemonConnectionError",
+    "DaemonTimeoutError",
+    "FleetError",
     "LintError",
 ]
 
@@ -100,6 +103,30 @@ class FingerprintError(ServiceError):
 
 class DaemonError(ServiceError):
     """Failure in the matching daemon (protocol, transport, or job state)."""
+
+
+class DaemonConnectionError(DaemonError):
+    """The transport to a daemon failed (refused, reset, or hung up).
+
+    Distinct from a server *error frame* (plain :class:`DaemonError`):
+    a connection error means the daemon may not have seen the request at
+    all, so it is the one failure mode a client may safely retry — the
+    reconnect-with-replay path in ``DaemonClient.events`` and the fleet
+    coordinator's dead-peer detection both key on this type.
+    """
+
+
+class DaemonTimeoutError(DaemonError):
+    """No frame arrived within the client's socket timeout.
+
+    Not a :class:`DaemonConnectionError`: the connection is still up,
+    the daemon is just quiet.  The fleet coordinator uses this as its
+    heartbeat signal to probe whether a worker is hung.
+    """
+
+
+class FleetError(ServiceError):
+    """Failure in the fleet layer (no healthy peers, shard exhaustion, ...)."""
 
 
 class LintError(ReproError):

@@ -1,0 +1,28 @@
+"""repro.fleet — cross-host sharded runs over worker daemons.
+
+A :class:`FleetCoordinator` registers peer
+:class:`~repro.service.daemon.MatchingDaemon` workers, dispatches one
+deterministic ``shard i/n`` submission per healthy peer over the
+``repro-daemon/v1`` protocol, watches every event stream concurrently,
+reassigns the shard of a dead or hung worker (resuming from mirrored
+records at zero oracle-query cost), and merges the shard stores into a
+result byte-identical to an unsharded serial run.  See ``docs/fleet.md``.
+"""
+
+from repro.fleet.coordinator import (
+    FleetCoordinator,
+    FleetPeer,
+    FleetReport,
+    ShardOutcome,
+    normalize_peer,
+)
+from repro.fleet.runid import FleetRunIdCounter
+
+__all__ = [
+    "FleetCoordinator",
+    "FleetPeer",
+    "FleetReport",
+    "ShardOutcome",
+    "FleetRunIdCounter",
+    "normalize_peer",
+]

@@ -1,0 +1,84 @@
+"""Crash-safe monotonic fleet-run-id allocation.
+
+The coordinator stamps every fleet run with an id that must stay
+monotonic across coordinator crashes and restarts — shard stores, event
+logs and reports are all filed under it, so a reused id would interleave
+two runs' artifacts.  The counter therefore lives in a file published
+atomically (write a tmpfile, flush, fsync, ``os.replace``): a crash at
+any instant leaves either the old value or the new one, never a torn
+file, and the next allocation continues from whichever survived.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+from repro.exceptions import FleetError
+
+__all__ = ["FleetRunIdCounter"]
+
+
+class FleetRunIdCounter:
+    """Monotonic ``fleet-NNNN`` ids backed by an atomically published file.
+
+    Args:
+        path: the counter file (created on first allocation; its parent
+            directory must exist or be creatable).
+        prefix: id prefix, default ``fleet``.
+        width: zero-padding of the numeric part (ids keep sorting
+            lexicographically until the counter outgrows it, exactly like
+            the daemon's ``run-NNNN`` ids).
+    """
+
+    def __init__(
+        self, path: str | Path, *, prefix: str = "fleet", width: int = 4
+    ) -> None:
+        self._path = Path(path)
+        self._prefix = prefix
+        self._width = width
+        self._lock = threading.Lock()
+
+    @property
+    def path(self) -> Path:
+        """The file the counter persists to."""
+        return self._path
+
+    def last(self) -> int:
+        """The last allocated counter value (0 before any allocation)."""
+        if not self._path.exists():
+            return 0
+        text = self._path.read_text(encoding="utf-8").strip()
+        try:
+            value = int(text)
+        except ValueError:
+            # The publish is atomic, so a torn file means something other
+            # than this class wrote it; refusing beats reusing ids.
+            raise FleetError(
+                f"fleet run-id counter {self._path} is corrupt "
+                f"(contains {text!r}); remove it to restart numbering"
+            ) from None
+        if value < 0:
+            raise FleetError(
+                f"fleet run-id counter {self._path} is negative ({value})"
+            )
+        return value
+
+    def allocate(self) -> str:
+        """Persist and return the next id, e.g. ``fleet-0007``.
+
+        The new value is durable (fsynced and atomically renamed into
+        place) before the id is returned, so a coordinator that crashes
+        right after calling this can never hand the same id out again.
+        """
+        with self._lock:
+            value = self.last() + 1
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self._path.with_name(self._path.name + ".tmp")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(f"{value}\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self._path)
+            return f"{self._prefix}-{value:0{self._width}d}"

@@ -106,6 +106,22 @@ METRIC_CATALOG = {
         "type": "counter",
         "help": "Daemon jobs finished, by final state.",
     },
+    "repro_fleet_runs_total": {
+        "type": "counter",
+        "help": "Fleet runs finished by the coordinator, by outcome.",
+    },
+    "repro_fleet_run_seconds": {
+        "type": "histogram",
+        "help": "Wall-clock seconds per fleet run, dispatch through merge.",
+    },
+    "repro_fleet_shards_total": {
+        "type": "counter",
+        "help": "Shard dispatches settled by the coordinator, by outcome.",
+    },
+    "repro_fleet_peer_failures_total": {
+        "type": "counter",
+        "help": "Worker daemons the coordinator gave up on, by reason.",
+    },
 }
 
 

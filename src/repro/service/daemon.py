@@ -36,6 +36,8 @@ daemon``) are built on.
 
 from __future__ import annotations
 
+import hmac
+import ipaddress
 import json
 import os
 import queue as _queue
@@ -48,12 +50,17 @@ from pathlib import Path
 from repro.circuits.io import load_circuit
 from repro.core.engine import MatchingConfig
 from repro.core.equivalence import EquivalenceType
-from repro.exceptions import DaemonError
+from repro.exceptions import (
+    DaemonConnectionError,
+    DaemonError,
+    DaemonTimeoutError,
+    ServiceError,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.service.cache import ResultCache, build_cache
 from repro.service.events import Observer, event_from_dict
 from repro.service.executor import Executor, OverlapExecutor, SerialExecutor
-from repro.service.pipeline import MatchingService
+from repro.service.pipeline import MatchingService, ResultStore, parse_shard
 from repro.service.workload import MANIFEST_NAME
 
 __all__ = [
@@ -82,6 +89,26 @@ SUBSCRIBER_BUFFER_LIMIT = 4096
 #: Default-argument sentinel ("build the standard cache"), distinct from
 #: an explicit ``cache=None`` ("run without a result cache").
 _DEFAULT_CACHE = object()
+
+#: Base backoff (seconds) between an events-stream disconnect and the
+#: client's reconnect attempt; grows linearly per attempt, capped below.
+EVENTS_RECONNECT_BACKOFF_S = 0.2
+EVENTS_RECONNECT_BACKOFF_MAX_S = 2.0
+
+
+def _is_loopback(host: str) -> bool:
+    """Whether a bind/connect host is loopback-only.
+
+    Hostnames other than ``localhost`` are treated as non-loopback: a
+    daemon asked to bind a *name* may end up on a routable interface, so
+    the auth requirement errs on the side of demanding a token.
+    """
+    if host == "localhost":
+        return True
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False
 
 
 class RunState:
@@ -116,6 +143,8 @@ class DaemonJob:
         store: str | None = None,
         seed: int | None = None,
         resume: bool = False,
+        shard: tuple[int, int] | None = None,
+        records: list[dict] | None = None,
     ) -> None:
         self.run_id = run_id
         self.manifest = manifest
@@ -123,6 +152,8 @@ class DaemonJob:
         self.store = store
         self.seed = seed
         self.resume = resume
+        self.shard = shard
+        self.records = records
         self.state = RunState.QUEUED
         self.error: str | None = None
         self.summary: dict | None = None
@@ -274,6 +305,7 @@ class DaemonJob:
                 "store": self.store,
                 "seed": self.seed,
                 "resume": self.resume,
+                "shard": list(self.shard) if self.shard is not None else None,
                 "total": self.total,
                 "done": self.done,
                 "failed": self.failed,
@@ -306,6 +338,12 @@ class MatchingDaemon:
             so store writes overlap execution and the engine stays warm
             across submissions.
         verify: exhaustively verify witnesses of freshly executed pairs.
+        auth_token: shared secret clients must present via the ``auth``
+            op before any stateful request.  Required for a TCP bind on
+            a non-loopback address (the daemon refuses to start without
+            one unless ``insecure`` is set); optional elsewhere.
+        insecure: allow a non-loopback TCP bind with no auth token — an
+            explicit opt-out for trusted networks, never the default.
         max_queued: bound on jobs waiting to run; a submit beyond it is
             rejected with an error frame instead of queueing unboundedly.
         history_limit: how many *finished* runs keep their event history
@@ -326,6 +364,8 @@ class MatchingDaemon:
         cache: ResultCache | None = _DEFAULT_CACHE,  # type: ignore[assignment]
         executor: Executor | None = None,
         verify: bool = False,
+        auth_token: str | None = None,
+        insecure: bool = False,
         max_queued: int = 16,
         history_limit: int = 64,
     ) -> None:
@@ -360,6 +400,8 @@ class MatchingDaemon:
             )
         self._executor = executor
         self._verify = verify
+        self._auth_token = auth_token
+        self._insecure = insecure
         self._pending: _queue.Queue = _queue.Queue(maxsize=max_queued)
         self._jobs: dict[str, DaemonJob] = {}
         self._jobs_lock = threading.Lock()
@@ -400,6 +442,18 @@ class MatchingDaemon:
         """Bind the socket and start the accept and worker threads."""
         if self._listener is not None:
             raise DaemonError("daemon already started")
+        if (
+            self._host is not None
+            and not _is_loopback(self._host)
+            and self._auth_token is None
+            and not self._insecure
+        ):
+            raise DaemonError(
+                f"refusing to serve on non-loopback address {self._host!r} "
+                "without an auth token; pass auth_token=... "
+                "(repro serve --auth-token-file) or insecure=True "
+                "(--insecure) to opt out explicitly"
+            )
         if self._socket_path is not None:
             if self._socket_path.exists():
                 # Distinguish a *stale* socket file (previous daemon died;
@@ -503,6 +557,11 @@ class MatchingDaemon:
     def _serve_connection(self, connection: socket.socket) -> None:
         reader = connection.makefile("r", encoding="utf-8")
         writer = connection.makefile("w", encoding="utf-8")
+        # Connections start authenticated only when no token is
+        # configured; the `auth` op upgrades the flag for this
+        # connection alone (it rides the dispatch return value, so the
+        # handler thread owns it without any shared state).
+        authenticated = self._auth_token is None
         try:
             while not self._stopping.is_set():
                 line = reader.readline()
@@ -518,7 +577,10 @@ class MatchingDaemon:
                 except ValueError as error:
                     self._send(writer, self._error(f"malformed frame: {error}"))
                     continue
-                if not self._dispatch(frame, writer):
+                keep_open, authenticated = self._dispatch(
+                    frame, writer, authenticated
+                )
+                if not keep_open:
                     break
         except OSError:
             # Client went away mid-write (or the daemon is closing the
@@ -547,31 +609,57 @@ class MatchingDaemon:
         frame.update(fields)
         return frame
 
-    def _dispatch(self, frame: dict, writer) -> bool:
-        """Handle one request frame; return False to close the connection."""
+    def _dispatch(
+        self, frame: dict, writer, authenticated: bool = True
+    ) -> tuple[bool, bool]:
+        """Handle one request frame.
+
+        Returns ``(keep_open, authenticated)``: the first element is
+        False to close the connection, the second carries the
+        connection's (possibly just upgraded) auth state back to the
+        read loop.
+        """
         op = frame.get("op")
         if op == "ping":
+            # Liveness stays unauthenticated: fleet health probes and
+            # the version handshake must work before the token exchange.
             self._send(writer, self._ok(op="ping", pid=os.getpid()))
-            return True
+            return True, authenticated
+        if op == "auth":
+            response, authenticated = self._handle_auth(frame, authenticated)
+            self._send(writer, response)
+            return True, authenticated
+        if not authenticated:
+            self._send(
+                writer,
+                self._error(
+                    "authentication required: send "
+                    '{"op": "auth", "token": ...} first'
+                ),
+            )
+            return True, authenticated
         if op == "submit":
             self._send(writer, self._handle_submit(frame))
-            return True
+            return True, authenticated
         if op == "status":
             self._send(writer, self._handle_status(frame))
-            return True
+            return True, authenticated
         if op == "stats":
             self._send(writer, self._handle_stats())
-            return True
+            return True, authenticated
         if op == "metrics":
             self._send(
                 writer, self._ok(op="metrics", metrics=self._metrics.snapshot())
             )
-            return True
+            return True, authenticated
         if op == "cancel":
             self._send(writer, self._handle_cancel(frame))
-            return True
+            return True, authenticated
+        if op == "fetch_store":
+            self._send(writer, self._handle_fetch_store(frame))
+            return True, authenticated
         if op == "events":
-            return self._handle_events(frame, writer)
+            return self._handle_events(frame, writer), authenticated
         if op == "shutdown":
             self._send(writer, self._ok(op="shutdown", shutting_down=True))
             # Stop from a fresh thread: stop() joins the accept thread and
@@ -580,9 +668,26 @@ class MatchingDaemon:
             threading.Thread(
                 target=self.stop, name="repro-daemon-shutdown", daemon=True
             ).start()
-            return False
+            return False, authenticated
         self._send(writer, self._error(f"unknown op {op!r}"))
-        return True
+        return True, authenticated
+
+    def _handle_auth(
+        self, frame: dict, authenticated: bool
+    ) -> tuple[dict, bool]:
+        """The shared-secret handshake; constant-time token comparison."""
+        if self._auth_token is None:
+            return self._ok(op="auth", authenticated=True), True
+        token = frame.get("token")
+        if not isinstance(token, str):
+            return self._error("auth needs a string 'token'"), authenticated
+        if not hmac.compare_digest(
+            token.encode("utf-8"), self._auth_token.encode("utf-8")
+        ):
+            # An error frame, not a hang-up: the protocol promise that
+            # errors never close the connection holds for auth too.
+            return self._error("auth failed: bad token"), authenticated
+        return self._ok(op="auth", authenticated=True), True
 
     # -- ops -------------------------------------------------------------------
     def _handle_submit(self, frame: dict) -> dict:
@@ -592,10 +697,39 @@ class MatchingDaemon:
         pairs = frame.get("pairs")
         if (manifest is None) == (pairs is None):
             return self._error("submit needs exactly one of 'manifest' or 'pairs'")
-        if frame.get("resume") and not frame.get("store"):
-            # Without an explicit store the run gets a fresh empty one,
-            # which would make "resume" a silent no-op.
-            return self._error("resume requires an explicit 'store' path")
+        if frame.get("resume") and not (
+            frame.get("store") or frame.get("records")
+        ):
+            # Without an explicit store (or records to pre-seed a fresh
+            # one) the run gets an empty store, which would make
+            # "resume" a silent no-op.
+            return self._error(
+                "resume requires an explicit 'store' path or 'records'"
+            )
+        shard = frame.get("shard")
+        if shard is not None:
+            if manifest is None:
+                return self._error("'shard' requires a manifest submission")
+            try:
+                if isinstance(shard, str):
+                    shard = parse_shard(shard)
+                elif (
+                    isinstance(shard, (list, tuple))
+                    and len(shard) == 2
+                    and all(isinstance(part, int) for part in shard)
+                ):
+                    shard = parse_shard(f"{shard[0]}/{shard[1]}")
+                else:
+                    return self._error(
+                        "'shard' must be an 'i/n' string or an [i, n] pair"
+                    )
+            except ServiceError as error:
+                return self._error(str(error))
+        records = frame.get("records")
+        if records is not None:
+            problem = self._validate_records(records)
+            if problem is not None:
+                return self._error(problem)
         if manifest is not None:
             path = Path(manifest)
             if path.is_dir():
@@ -619,6 +753,8 @@ class MatchingDaemon:
                 store=store,
                 seed=frame.get("seed"),
                 resume=bool(frame.get("resume", False)),
+                shard=shard,
+                records=records,
             )
             try:
                 self._pending.put_nowait(job)
@@ -663,6 +799,18 @@ class MatchingDaemon:
                 EquivalenceType.from_label(pair["equivalence"])
             except ValueError as error:
                 return f"pair #{position}: {error}"
+        return None
+
+    @staticmethod
+    def _validate_records(records) -> str | None:
+        """Pre-seed records must at least be store-shaped (pair_id keyed)."""
+        if not isinstance(records, list) or not records:
+            return "'records' must be a non-empty list"
+        for position, record in enumerate(records):
+            if not isinstance(record, dict):
+                return f"record #{position} must be an object"
+            if not isinstance(record.get("pair_id"), str):
+                return f"record #{position} is missing a string 'pair_id'"
         return None
 
     def _get_job(self, frame: dict) -> DaemonJob | str:
@@ -738,6 +886,46 @@ class MatchingDaemon:
             job.cancel()
         return self._ok(op="cancel", run_id=job.run_id, state=job.state)
 
+    def _handle_fetch_store(self, frame: dict) -> dict:
+        """Ship a run's JSONL store to the client, record by record.
+
+        Records come back in file order (the store is append-only, so
+        that is completion order); torn lines are skipped and counted,
+        exactly like :meth:`ResultStore.load` would on resume.  The op
+        works in any run state — a cancelled or failed run's partial
+        store is precisely what the fleet coordinator needs to reassign
+        its shard without re-querying settled pairs.
+        """
+        job = self._get_job(frame)
+        if isinstance(job, str):
+            return self._error(job)
+        records: list[dict] = []
+        torn_lines = 0
+        path = Path(job.store)
+        if path.exists():
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        torn_lines += 1
+                        continue
+                    if isinstance(record, dict):
+                        records.append(record)
+                    else:
+                        torn_lines += 1
+        return self._ok(
+            op="fetch_store",
+            run_id=job.run_id,
+            state=job.state,
+            store=job.store,
+            records=records,
+            torn_lines=torn_lines,
+        )
+
     def _handle_events(self, frame: dict, writer) -> bool:
         job = self._get_job(frame)
         if isinstance(job, str):
@@ -790,6 +978,7 @@ class MatchingDaemon:
                 store_path=job.store,
                 resume=job.resume,
                 seed=job.seed,
+                shard=job.shard,
             )
         pairs = [
             (
@@ -814,6 +1003,8 @@ class MatchingDaemon:
         outcome = RunState.COMPLETED
         error: str | None = None
         try:
+            if job.records:
+                self._preseed_store(job)
             events = self._events_for(job, service)
             for event in events:
                 job.publish(event.to_dict())
@@ -827,6 +1018,22 @@ class MatchingDaemon:
             error = f"{type(failure).__name__}: {failure}"
         job.finish(outcome, error)
         self._metrics.counter("repro_daemon_jobs_total").inc(state=job.state)
+
+    @staticmethod
+    def _preseed_store(job: DaemonJob) -> None:
+        """Append a submit's ``records`` to the run store before it runs.
+
+        This is how a fleet coordinator moves a dead worker's settled
+        pairs to the reassigned peer: seeded into the store, a
+        ``resume`` run replays them as cache hits and spends zero oracle
+        queries on them.  Records whose pair is already in the store are
+        skipped, so re-seeding an existing store never duplicates lines.
+        """
+        store = ResultStore(job.store)
+        existing = store.load()
+        for record in job.records:
+            if record["pair_id"] not in existing:
+                store.append(record)
 
 
 class DaemonClient:
@@ -842,6 +1049,8 @@ class DaemonClient:
         host, port: ...or a TCP one.
         timeout: socket timeout in seconds (``None`` blocks forever —
             fine for :meth:`events`, which has no frame cadence).
+        auth_token: shared secret for a token-protected daemon; sent as
+            an ``auth`` handshake on every (re)connect.
     """
 
     def __init__(
@@ -850,6 +1059,7 @@ class DaemonClient:
         host: str | None = None,
         port: int | None = None,
         timeout: float | None = None,
+        auth_token: str | None = None,
     ) -> None:
         if (socket_path is None) == (host is None):
             raise DaemonError(
@@ -859,24 +1069,42 @@ class DaemonClient:
         self._host = host
         self._port = port
         self._timeout = timeout
+        self._auth_token = auth_token
         self._connection: socket.socket | None = None
         self._reader = None
         self._writer = None
 
     @classmethod
-    def from_address(cls, address: str, timeout: float | None = None) -> "DaemonClient":
+    def from_address(
+        cls,
+        address: str,
+        timeout: float | None = None,
+        auth_token: str | None = None,
+    ) -> "DaemonClient":
         """Build a client from an ``unix:<path>`` / ``tcp:<host>:<port>`` string."""
         kind, _, rest = address.partition(":")
         if kind == "unix" and rest:
-            return cls(socket_path=rest, timeout=timeout)
+            return cls(socket_path=rest, timeout=timeout, auth_token=auth_token)
         if kind == "tcp" and rest:
             host, _, port = rest.rpartition(":")
             if host and port.isdigit():
-                return cls(host=host, port=int(port), timeout=timeout)
+                return cls(
+                    host=host,
+                    port=int(port),
+                    timeout=timeout,
+                    auth_token=auth_token,
+                )
         raise DaemonError(
             f"not a daemon address: {address!r} "
             "(expected unix:<path> or tcp:<host>:<port>)"
         )
+
+    @property
+    def address(self) -> str:
+        """The target address: ``unix:<path>`` or ``tcp:<host>:<port>``."""
+        if self._socket_path is not None:
+            return f"unix:{self._socket_path}"
+        return f"tcp:{self._host}:{self._port}"
 
     # -- connection ------------------------------------------------------------
     def connect(self) -> "DaemonClient":
@@ -893,11 +1121,38 @@ class DaemonClient:
                     (self._host, self._port), timeout=self._timeout
                 )
         except OSError as error:
-            raise DaemonError(f"cannot reach daemon: {error}") from None
+            raise DaemonConnectionError(
+                f"cannot reach daemon: {error}"
+            ) from None
         self._connection = connection
         self._reader = connection.makefile("r", encoding="utf-8")
         self._writer = connection.makefile("w", encoding="utf-8")
+        if self._auth_token is not None:
+            self._handshake()
         return self
+
+    def _handshake(self) -> None:
+        """Present the shared secret; raises (and closes) on refusal."""
+        try:
+            self._writer.write(
+                json.dumps({"op": "auth", "token": self._auth_token}) + "\n"
+            )
+            self._writer.flush()
+        except OSError as error:
+            self.close()
+            raise DaemonConnectionError(
+                f"daemon connection lost: {error}"
+            ) from None
+        try:
+            response = self._read_frame()
+        except DaemonError:
+            self.close()
+            raise
+        if response.get("ok") is not True:
+            self.close()
+            raise DaemonError(
+                response.get("error", "daemon refused the auth handshake")
+            )
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
@@ -919,10 +1174,19 @@ class DaemonClient:
     def _read_frame(self) -> dict:
         try:
             line = self._reader.readline()
-        except OSError as error:  # covers socket timeouts (TimeoutError)
-            raise DaemonError(f"daemon connection lost: {error}") from None
+        except TimeoutError:
+            # The connection is up but quiet — distinct from a loss, so
+            # heartbeat-style callers (the fleet coordinator) can probe
+            # instead of reconnecting.
+            raise DaemonTimeoutError(
+                f"no frame within {self._timeout}s"
+            ) from None
+        except OSError as error:
+            raise DaemonConnectionError(
+                f"daemon connection lost: {error}"
+            ) from None
         if not line:
-            raise DaemonError("daemon closed the connection")
+            raise DaemonConnectionError("daemon closed the connection")
         try:
             frame = json.loads(line)
         except json.JSONDecodeError as error:
@@ -938,7 +1202,9 @@ class DaemonClient:
             self._writer.write(json.dumps(frame) + "\n")
             self._writer.flush()
         except OSError as error:
-            raise DaemonError(f"daemon connection lost: {error}") from None
+            raise DaemonConnectionError(
+                f"daemon connection lost: {error}"
+            ) from None
         response = self._read_frame()
         if response.get("ok") is not True:
             raise DaemonError(response.get("error", "daemon refused the request"))
@@ -957,8 +1223,16 @@ class DaemonClient:
         seed: int | None = None,
         resume: bool = False,
         store: str | Path | None = None,
+        shard: tuple[int, int] | str | None = None,
+        records: Sequence[dict] | None = None,
     ) -> dict:
-        """Submit a run (a manifest path or a pair list); returns the ack."""
+        """Submit a run (a manifest path or a pair list); returns the ack.
+
+        ``shard`` restricts a manifest run to one deterministic
+        ``i/n`` partition; ``records`` pre-seed the run's store before
+        it starts (with ``resume`` they are replayed without re-running
+        — the fleet coordinator's shard-reassignment path).
+        """
         frame: dict = {"op": "submit", "seed": seed, "resume": resume}
         if manifest is not None:
             frame["manifest"] = str(manifest)
@@ -966,6 +1240,10 @@ class DaemonClient:
             frame["pairs"] = list(pairs)
         if store is not None:
             frame["store"] = str(store)
+        if shard is not None:
+            frame["shard"] = shard if isinstance(shard, str) else list(shard)
+        if records is not None:
+            frame["records"] = list(records)
         return self.request(frame)
 
     def status(self, run_id: str | None = None) -> dict:
@@ -987,24 +1265,69 @@ class DaemonClient:
         """Cancel a queued or running run."""
         return self.request({"op": "cancel", "run_id": run_id})
 
+    def fetch_store(self, run_id: str) -> dict:
+        """A run's JSONL store records, in file order (any run state)."""
+        return self.request({"op": "fetch_store", "run_id": run_id})
+
     def shutdown(self) -> dict:
         """Ask the daemon to stop (cancelling anything in flight)."""
         response = self.request({"op": "shutdown"})
         self.close()
         return response
 
-    def events(self, run_id: str, *, replay: bool = True) -> Iterator[dict]:
+    def events(
+        self,
+        run_id: str,
+        *,
+        replay: bool = True,
+        reconnects: int = 1,
+    ) -> Iterator[dict]:
         """Subscribe to a run's event stream; yields raw event dicts.
 
         The generator ends when the run reaches a final state; the
         server's terminator frame is consumed, and its ``state`` is
         available afterwards as the generator's return value (via
         ``StopIteration.value`` — or just use :meth:`watch`).
+
+        A *transient disconnect* (connection reset or daemon hang-up
+        mid-stream — :class:`~repro.exceptions.DaemonConnectionError`,
+        never a server error frame or a timeout) is survived up to
+        ``reconnects`` times: the client backs off briefly, reconnects,
+        re-subscribes with replay, and silently skips the events it
+        already yielded — the run is unaffected, the subscriber sees an
+        uninterrupted stream.  Only available when subscribing with
+        ``replay`` (without the initial replay the client cannot know
+        which re-replayed events predate its subscription).
         """
         self.request({"op": "events", "run_id": run_id, "replay": replay})
+        attempts = 0
+        yielded = 0
+        skip = 0
         while True:
-            frame = self._read_frame()
+            try:
+                frame = self._read_frame()
+            except DaemonTimeoutError:
+                raise
+            except DaemonConnectionError:
+                if attempts >= reconnects or not replay:
+                    raise
+                attempts += 1
+                self.close()
+                time.sleep(min(
+                    EVENTS_RECONNECT_BACKOFF_S * attempts,
+                    EVENTS_RECONNECT_BACKOFF_MAX_S,
+                ))
+                # Replay is append-only and in publish order, so the
+                # first `yielded` event frames of the fresh subscription
+                # are exactly the ones already delivered.
+                self.request({"op": "events", "run_id": run_id, "replay": True})
+                skip = yielded
+                continue
             if "event" in frame:
+                if skip > 0:
+                    skip -= 1
+                    continue
+                yielded += 1
                 yield frame
                 continue
             if frame.get("ok") is not True:

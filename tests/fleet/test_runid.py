@@ -1,0 +1,76 @@
+"""Crash-safety and monotonicity of the fleet run-id counter."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import FleetError
+from repro.fleet import FleetRunIdCounter
+
+
+class TestAllocation:
+    def test_ids_are_monotonic_and_padded(self, tmp_path):
+        counter = FleetRunIdCounter(tmp_path / "counter")
+        assert counter.allocate() == "fleet-0001"
+        assert counter.allocate() == "fleet-0002"
+        assert counter.last() == 2
+
+    def test_last_is_zero_before_any_allocation(self, tmp_path):
+        assert FleetRunIdCounter(tmp_path / "counter").last() == 0
+
+    def test_prefix_and_width_are_configurable(self, tmp_path):
+        counter = FleetRunIdCounter(tmp_path / "c", prefix="run", width=6)
+        assert counter.allocate() == "run-000001"
+
+    def test_survives_a_fresh_instance(self, tmp_path):
+        path = tmp_path / "counter"
+        FleetRunIdCounter(path).allocate()
+        # A coordinator restart builds a new counter over the same file.
+        assert FleetRunIdCounter(path).allocate() == "fleet-0002"
+
+    def test_creates_missing_parent_directories(self, tmp_path):
+        counter = FleetRunIdCounter(tmp_path / "deep" / "state" / "counter")
+        assert counter.allocate() == "fleet-0001"
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        counter = FleetRunIdCounter(tmp_path / "counter")
+        counter.allocate()
+        assert [entry.name for entry in tmp_path.iterdir()] == ["counter"]
+
+
+class TestCorruption:
+    def test_corrupt_counter_refuses(self, tmp_path):
+        path = tmp_path / "counter"
+        path.write_text("not a number\n", encoding="utf-8")
+        with pytest.raises(FleetError, match="corrupt"):
+            FleetRunIdCounter(path).allocate()
+
+    def test_negative_counter_refuses(self, tmp_path):
+        path = tmp_path / "counter"
+        path.write_text("-3\n", encoding="utf-8")
+        with pytest.raises(FleetError, match="negative"):
+            FleetRunIdCounter(path).last()
+
+
+class TestConcurrency:
+    def test_concurrent_allocations_never_collide(self, tmp_path):
+        counter = FleetRunIdCounter(tmp_path / "counter")
+        ids: list[str] = []
+        lock = threading.Lock()
+
+        def allocate() -> None:
+            for _ in range(10):
+                value = counter.allocate()
+                with lock:
+                    ids.append(value)
+
+        threads = [threading.Thread(target=allocate) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(ids) == 40
+        assert len(set(ids)) == 40
+        assert counter.last() == 40

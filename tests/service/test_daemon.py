@@ -616,7 +616,9 @@ class TestReviewRegressions:
             ack = submitter.submit(corpus, seed=7)
         impatient = DaemonClient.from_address(slow_daemon.address, timeout=0.05)
         with impatient:
-            with pytest.raises(DaemonError, match="connection lost"):
+            # A quiet-but-open connection is a timeout, not a loss — the
+            # distinction lets heartbeat callers probe before reconnecting.
+            with pytest.raises(DaemonError, match="no frame within"):
                 # The run takes ~0.8s; a 50ms timeout trips mid-stream.
                 impatient.watch(ack["run_id"])
         with client_for(slow_daemon) as client:
@@ -675,3 +677,243 @@ class TestReviewRegressions:
         # The job forgot the subscriber: later publishes skip it.
         job.publish({"event": "TaskStarted", "index": -1})
         assert subscription.empty()
+
+
+class TestAuth:
+    def test_ops_require_auth_but_ping_does_not(self, tmp_path):
+        daemon = start_daemon(tmp_path, auth_token="sesame")
+        try:
+            with DaemonClient.from_address(
+                daemon.address, timeout=TIMEOUT
+            ) as client:
+                client.ping()  # the liveness/version handshake stays open
+                with pytest.raises(DaemonError, match="authentication required"):
+                    client.stats()
+                # The refusal was an error frame, not a hang-up: the same
+                # connection can authenticate and proceed.
+                response = client.request({"op": "auth", "token": "sesame"})
+                assert response["authenticated"] is True
+                assert "uptime" in client.stats()
+        finally:
+            daemon.stop()
+
+    def test_bad_token_is_an_error_frame_not_a_hangup(self, tmp_path):
+        daemon = start_daemon(tmp_path, auth_token="sesame")
+        try:
+            with DaemonClient.from_address(
+                daemon.address, timeout=TIMEOUT
+            ) as client:
+                with pytest.raises(DaemonError, match="auth failed"):
+                    client.request({"op": "auth", "token": "wrong"})
+                response = client.request({"op": "auth", "token": "sesame"})
+                assert response["authenticated"] is True
+        finally:
+            daemon.stop()
+
+    def test_client_handshake_is_transparent(self, tmp_path, corpus):
+        daemon = start_daemon(tmp_path, auth_token="sesame")
+        try:
+            with DaemonClient.from_address(
+                daemon.address, timeout=TIMEOUT, auth_token="sesame"
+            ) as client:
+                ack = client.submit(str(corpus), seed=7)
+                assert client.watch(ack["run_id"]) == RunState.COMPLETED
+        finally:
+            daemon.stop()
+
+    def test_wrong_client_token_raises_on_connect(self, tmp_path):
+        daemon = start_daemon(tmp_path, auth_token="sesame")
+        try:
+            client = DaemonClient.from_address(
+                daemon.address, timeout=TIMEOUT, auth_token="wrong"
+            )
+            with pytest.raises(DaemonError, match="auth failed"):
+                client.connect()
+        finally:
+            daemon.stop()
+
+    def test_auth_is_a_noop_without_a_configured_token(self, daemon):
+        with client_for(daemon) as client:
+            response = client.request({"op": "auth", "token": "anything"})
+            assert response["authenticated"] is True
+
+    def test_non_loopback_tcp_refused_without_token(self, tmp_path):
+        daemon = MatchingDaemon(
+            store_dir=tmp_path / "runs", host="0.0.0.0", port=0
+        )
+        with pytest.raises(DaemonError, match="non-loopback"):
+            daemon.start()
+
+    def test_non_loopback_tcp_starts_with_token_or_insecure(self, tmp_path):
+        for kwargs in ({"auth_token": "sesame"}, {"insecure": True}):
+            daemon = MatchingDaemon(
+                store_dir=tmp_path / "runs", host="0.0.0.0", port=0, **kwargs
+            )
+            daemon.start()
+            daemon.stop()
+
+
+class TestFetchStore:
+    def test_records_come_back_in_file_order(self, daemon, corpus):
+        with client_for(daemon) as client:
+            ack = client.submit(str(corpus), seed=7)
+            assert client.watch(ack["run_id"]) == RunState.COMPLETED
+            response = client.fetch_store(ack["run_id"])
+            assert response["state"] == RunState.COMPLETED
+            assert response["torn_lines"] == 0
+            with open(ack["store"], "r", encoding="utf-8") as handle:
+                on_disk = [
+                    json.loads(line) for line in handle if line.strip()
+                ]
+            assert response["records"] == on_disk
+            assert len(on_disk) == 2
+
+    def test_unknown_run_is_an_error(self, daemon):
+        with client_for(daemon) as client:
+            with pytest.raises(DaemonError, match="unknown run"):
+                client.fetch_store("run-9999")
+
+    def test_torn_trailing_line_is_skipped_and_counted(self, daemon, corpus):
+        with client_for(daemon) as client:
+            ack = client.submit(str(corpus), seed=7)
+            assert client.watch(ack["run_id"]) == RunState.COMPLETED
+            with open(ack["store"], "a", encoding="utf-8") as handle:
+                handle.write('{"pair_id": "torn')
+            response = client.fetch_store(ack["run_id"])
+            assert response["torn_lines"] == 1
+            assert len(response["records"]) == 2
+
+
+class TestShardSubmit:
+    def test_shards_partition_the_manifest(self, daemon, corpus):
+        with client_for(daemon) as client:
+            totals = []
+            for index in range(2):
+                ack = client.submit(str(corpus), seed=7, shard=(index, 2))
+                assert client.watch(ack["run_id"]) == RunState.COMPLETED
+                summary = client.status(ack["run_id"])["run"]["summary"]
+                totals.append(summary["total"])
+            assert sum(totals) == 2  # every manifest pair in exactly one shard
+
+    def test_shard_accepts_the_string_form(self, daemon, corpus):
+        with client_for(daemon) as client:
+            ack = client.submit(str(corpus), seed=7, shard="0/1")
+            assert client.watch(ack["run_id"]) == RunState.COMPLETED
+            assert client.status(ack["run_id"])["run"]["summary"]["total"] == 2
+
+    def test_shard_requires_a_manifest(self, daemon, corpus):
+        manifest = json.loads(
+            (corpus / "manifest.json").read_text(encoding="utf-8")
+        )
+        entry = manifest["entries"][0]
+        pair = {
+            "circuit1": str(corpus / entry["circuit1"]),
+            "circuit2": str(corpus / entry["circuit2"]),
+            "equivalence": entry["equivalence"],
+        }
+        with client_for(daemon) as client:
+            with pytest.raises(DaemonError, match="requires a manifest"):
+                client.submit(pairs=[pair], shard=(0, 2))
+
+    def test_malformed_shards_are_rejected(self, daemon, corpus):
+        with client_for(daemon) as client:
+            with pytest.raises(DaemonError, match="shard"):
+                client.request({
+                    "op": "submit", "manifest": str(corpus), "shard": [1],
+                })
+            with pytest.raises(DaemonError):
+                client.submit(str(corpus), shard="2/2")  # index out of range
+
+
+class TestRecordsPreseed:
+    def test_preseeded_resume_spends_zero_queries(self, daemon, corpus):
+        with client_for(daemon) as client:
+            first = client.submit(str(corpus), seed=7)
+            assert client.watch(first["run_id"]) == RunState.COMPLETED
+            records = client.fetch_store(first["run_id"])["records"]
+            retry = client.submit(
+                str(corpus), seed=7, records=records, resume=True
+            )
+            assert client.watch(retry["run_id"]) == RunState.COMPLETED
+            summary = client.status(retry["run_id"])["run"]["summary"]
+            assert summary["resumed"] == len(records) == 2
+            assert summary["executed"] == 0
+            assert summary["cache_hits"] == 0
+            # The retry's store holds exactly the seeded records.
+            assert client.fetch_store(retry["run_id"])["records"] == records
+
+    def test_partial_seed_runs_only_the_missing_pairs(self, daemon, corpus):
+        with client_for(daemon) as client:
+            first = client.submit(str(corpus), seed=7, shard=(0, 2))
+            assert client.watch(first["run_id"]) == RunState.COMPLETED
+            records = client.fetch_store(first["run_id"])["records"]
+            retry = client.submit(
+                str(corpus), seed=7, records=records, resume=True
+            )
+            assert client.watch(retry["run_id"]) == RunState.COMPLETED
+            summary = client.status(retry["run_id"])["run"]["summary"]
+            assert summary["resumed"] == len(records)
+            assert summary["total"] == 2
+
+    def test_records_must_carry_pair_ids(self, daemon, corpus):
+        with client_for(daemon) as client:
+            with pytest.raises(DaemonError, match="pair_id"):
+                client.submit(
+                    str(corpus), records=[{"result": None}], resume=True
+                )
+
+
+class TestEventsReconnect:
+    def test_stream_survives_one_disconnect_without_duplicates(
+        self, slow_daemon, corpus
+    ):
+        with client_for(slow_daemon) as client:
+            ack = client.submit(str(corpus), seed=7)
+            stream = client.events(ack["run_id"])
+            first = next(stream)
+            assert first["event"] == "RunStarted"
+            # Sever the transport under the generator's feet; the next
+            # read sees EOF, and the generator must reconnect, replay
+            # and skip what it already delivered.
+            client._connection.shutdown(socket.SHUT_RDWR)
+            events = [first]
+            while True:
+                try:
+                    events.append(next(stream))
+                except StopIteration as stop:
+                    state = stop.value
+                    break
+            assert state == RunState.COMPLETED
+            kinds = [event["event"] for event in events]
+            assert kinds.count("RunStarted") == 1
+            assert kinds.count("RunCompleted") == 1
+            settled = [
+                event["pair_id"] for event in events
+                if event["event"] in ("TaskCompleted", "TaskFailed", "CacheHit")
+            ]
+            assert sorted(settled) == sorted(set(settled))
+            assert len(settled) == 2
+
+    def test_second_disconnect_raises(self, slow_daemon, corpus):
+        from repro.exceptions import DaemonConnectionError
+
+        with client_for(slow_daemon) as client:
+            ack = client.submit(str(corpus), seed=7)
+            stream = client.events(ack["run_id"], reconnects=0)
+            next(stream)
+            client._connection.shutdown(socket.SHUT_RDWR)
+            with pytest.raises(DaemonConnectionError):
+                while True:
+                    next(stream)
+
+    def test_no_reconnect_without_replay(self, slow_daemon, corpus):
+        from repro.exceptions import DaemonConnectionError
+
+        with client_for(slow_daemon) as client:
+            ack = client.submit(str(corpus), seed=7)
+            stream = client.events(ack["run_id"], replay=False)
+            next(stream)
+            client._connection.shutdown(socket.SHUT_RDWR)
+            with pytest.raises(DaemonConnectionError):
+                while True:
+                    next(stream)

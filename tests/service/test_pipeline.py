@@ -568,3 +568,62 @@ class TestKeyVersioning:
         )
         report = [e for e in events if isinstance(e, RunCompleted)][0].report
         assert report.resumed == 0 and report.executed == 2
+
+
+class TestMergeStoresUnderRetry:
+    """Merging the stores a fleet reassignment leaves behind.
+
+    A dead worker's partial shard store overlaps the retry's store
+    record-for-record — the retry is pre-seeded with the mirrored
+    records — so identical duplicates must merge cleanly, while a
+    record that *differs* across stores means they do not belong to
+    the same run and the merge must refuse.
+    """
+
+    @staticmethod
+    def record(pair_id, index, queries):
+        return {
+            "pair_id": pair_id,
+            "index": index,
+            "status": "matched",
+            "result": {"queries": queries},
+        }
+
+    def test_partial_and_retry_stores_merge_cleanly(self, tmp_path):
+        partial = ResultStore(tmp_path / "dead-worker.jsonl")
+        partial.append(self.record("a", 0, 3))
+        partial.append(self.record("c", 2, 5))
+        retry = ResultStore(tmp_path / "retry.jsonl")
+        retry.append(self.record("a", 0, 3))  # pre-seeded mirror
+        retry.append(self.record("c", 2, 5))  # pre-seeded mirror
+        retry.append(self.record("b", 1, 7))  # freshly executed
+        other = ResultStore(tmp_path / "other-shard.jsonl")
+        other.append(self.record("d", 3, 2))
+        out = tmp_path / "merged.jsonl"
+        assert merge_stores(out, [partial.path, retry.path, other.path]) == 4
+        ordered = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [record["pair_id"] for record in ordered] == ["a", "b", "c", "d"]
+        # The dead worker's leftovers change nothing: dropping them
+        # yields byte-identical output.
+        without = tmp_path / "without-partial.jsonl"
+        assert merge_stores(without, [retry.path, other.path]) == 4
+        assert without.read_bytes() == out.read_bytes()
+
+    def test_conflicting_retry_record_raises(self, tmp_path):
+        partial = ResultStore(tmp_path / "dead-worker.jsonl")
+        partial.append(self.record("a", 0, 3))
+        retry = ResultStore(tmp_path / "retry.jsonl")
+        retry.append(self.record("a", 0, 99))  # same pair, different answer
+        with pytest.raises(ServiceError, match="conflicting records"):
+            merge_stores(tmp_path / "out.jsonl", [partial.path, retry.path])
+
+    def test_duplicates_within_one_store_still_resolve_newest_wins(
+        self, tmp_path
+    ):
+        # A store that was resumed twice holds the same pair twice; the
+        # load step resolves that before the cross-store conflict check.
+        twice = ResultStore(tmp_path / "resumed.jsonl")
+        twice.append(self.record("a", 0, 3))
+        twice.append(self.record("a", 0, 3))
+        out = tmp_path / "out.jsonl"
+        assert merge_stores(out, [twice.path]) == 1
