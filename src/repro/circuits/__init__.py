@@ -7,6 +7,9 @@ This package provides everything the matching algorithms need from the
   positive/negative controls, plus NOT/CNOT/Toffoli/SWAP/Fredkin helpers.
 * :mod:`repro.circuits.circuit` — :class:`ReversibleCircuit`: a gate list
   with classical simulation, inversion, composition and truth-table export.
+* :mod:`repro.circuits.bitslice` — bit-parallel (64-lane) batch
+  evaluation of MCT/SWAP cascades: the vectorized counterpart of
+  ``simulate``, held byte-identical to it by a differential test harness.
 * :mod:`repro.circuits.permutation` — :class:`Permutation` over
   ``range(2**n)``: the functional view of a reversible circuit.
 * :mod:`repro.circuits.line_permutation` — :class:`LinePermutation` over the
@@ -23,7 +26,15 @@ This package provides everything the matching algorithms need from the
 
 from __future__ import annotations
 
-from repro.circuits import drawing, io, library, metrics, random, transforms
+from repro.circuits import (
+    bitslice,
+    drawing,
+    io,
+    library,
+    metrics,
+    random,
+    transforms,
+)
 from repro.circuits.circuit import ReversibleCircuit
 from repro.circuits.gates import (
     Control,
@@ -52,6 +63,7 @@ __all__ = [
     "ReversibleCircuit",
     "Permutation",
     "LinePermutation",
+    "bitslice",
     "transforms",
     "random",
     "library",

@@ -89,12 +89,19 @@ def binary_code_patterns(num_lines: int) -> list[int]:
 
 
 def identify_line_permutation(
-    query: Callable[[int], int], num_lines: int
+    query: Callable[[int], int],
+    num_lines: int,
+    query_many: Callable[[list[int]], list[int]] | None = None,
 ) -> LinePermutation:
     """Identify ``pi`` given query access to a circuit equal to ``C_pi``.
 
     ``query`` must implement the wire permutation "output line ``pi(i)``
     carries input line ``i``"; it is invoked ``ceil(log2 n)`` times.
+    Callers whose oracles advertise the bit-parallel capability may pass
+    ``query_many`` (same semantics over a probe batch, typically composed
+    from ``ReversibleOracle.query_many``); the probe set is then evaluated
+    in one bitsliced pass while the per-probe query accounting stays
+    exactly that of the scalar loop.
 
     Raises:
         PromiseViolationError: if the responses are not consistent with any
@@ -103,7 +110,10 @@ def identify_line_permutation(
     if num_lines == 1:
         return LinePermutation([0])
     patterns = binary_code_patterns(num_lines)
-    responses = [query(pattern) for pattern in patterns]
+    if query_many is not None:
+        responses = list(query_many(patterns))
+    else:
+        responses = [query(pattern) for pattern in patterns]
     mapping: list[int | None] = [None] * num_lines
     for output_line in range(num_lines):
         source = 0
@@ -161,12 +171,17 @@ def match_output_sequences(
         return LinePermutation([0]), [flipped]
 
     k = repetitions_for_sequences(num_lines, epsilon, allow_flip)
+    # Draw all probes first (same rng call sequence as the per-round loop),
+    # then evaluate each oracle's batch in one bitsliced pass; accounting
+    # is unchanged — query_many charges one query per probe.
+    probes = [rng.getrandbits(num_lines) for _ in range(k)]
+    responses1 = oracle1.query_many(probes)
+    responses2 = oracle2.query_many(probes)
     sequences1 = [0] * num_lines
     sequences2 = [0] * num_lines
     for round_index in range(k):
-        probe = rng.getrandbits(num_lines)
-        response1 = oracle1.query(probe)
-        response2 = oracle2.query(probe)
+        response1 = responses1[round_index]
+        response2 = responses2[round_index]
         for line in range(num_lines):
             if (response1 >> line) & 1:
                 sequences1[line] |= 1 << round_index

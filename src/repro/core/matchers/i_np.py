@@ -57,7 +57,14 @@ def match_i_np(
 
         nu_prime_mask = composite(0)
         pi_y = identify_line_permutation(
-            lambda probe: composite(probe) ^ nu_prime_mask, num_lines
+            lambda probe: composite(probe) ^ nu_prime_mask,
+            num_lines,
+            query_many=lambda probes: [
+                response ^ nu_prime_mask
+                for response in oracle1.query_many(
+                    oracle2.query_inverse_many(probes)
+                )
+            ],
         )
         nu_prime = int_to_bits(nu_prime_mask, num_lines)
         nu_y = tuple(bool(nu_prime[pi_y[line]]) for line in range(num_lines))
@@ -71,7 +78,14 @@ def match_i_np(
 
         nu_mask = composite(0)
         pi_inverse = identify_line_permutation(
-            lambda probe: composite(probe) ^ nu_mask, num_lines
+            lambda probe: composite(probe) ^ nu_mask,
+            num_lines,
+            query_many=lambda probes: [
+                response ^ nu_mask
+                for response in oracle2.query_many(
+                    oracle1.query_inverse_many(probes)
+                )
+            ],
         )
         pi_y = pi_inverse.inverse()
         nu_y = tuple(bool(bit) for bit in int_to_bits(nu_mask, num_lines))

@@ -66,7 +66,14 @@ def match_np_i(
 
         nu_prime_mask = composite(0)
         pi_x = identify_line_permutation(
-            lambda probe: composite(probe) ^ nu_prime_mask, num_lines
+            lambda probe: composite(probe) ^ nu_prime_mask,
+            num_lines,
+            query_many=lambda probes: [
+                response ^ nu_prime_mask
+                for response in oracle2.query_inverse_many(
+                    oracle1.query_many(probes)
+                )
+            ],
         )
         nu_prime = int_to_bits(nu_prime_mask, num_lines)
         nu_x = tuple(bool(nu_prime[pi_x[line]]) for line in range(num_lines))
@@ -78,7 +85,14 @@ def match_np_i(
 
         nu_mask = composite(0)
         pi_inverse = identify_line_permutation(
-            lambda probe: composite(probe) ^ nu_mask, num_lines
+            lambda probe: composite(probe) ^ nu_mask,
+            num_lines,
+            query_many=lambda probes: [
+                response ^ nu_mask
+                for response in oracle1.query_inverse_many(
+                    oracle2.query_many(probes)
+                )
+            ],
         )
         pi_x = pi_inverse.inverse()
         nu_x = tuple(bool(bit) for bit in int_to_bits(nu_mask, num_lines))

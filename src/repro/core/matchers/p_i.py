@@ -35,12 +35,14 @@ def identify_input_permutation(
     from repro.circuits.line_permutation import LinePermutation
 
     num_lines = oracle1.num_lines
-    response_to_input: dict[int, int] = {}
-    responses2: list[int] = []
-    for line in range(num_lines):
-        probe = one_hot(line, num_lines)
-        response_to_input[oracle1.query(probe)] = line
-        responses2.append(oracle2.query(probe))
+    # One bitsliced pass per oracle over all n one-hot probes; the batch
+    # form still charges one query per probe (Section 4.4's O(n) stands).
+    probes = [one_hot(line, num_lines) for line in range(num_lines)]
+    responses1 = oracle1.query_many(probes)
+    responses2 = oracle2.query_many(probes)
+    response_to_input = {
+        response: line for line, response in enumerate(responses1)
+    }
 
     # A[i] = pi^{-1}(i): the C1 one-hot input whose output matches C2's
     # output on e_i.
@@ -72,13 +74,21 @@ def match_p_i(circuit1, circuit2) -> MatchingResult:
     if oracle2.has_inverse:
         # C_pi = C2^{-1} . C1 (apply C1 first).
         pi_x = identify_line_permutation(
-            lambda probe: oracle2.query_inverse(oracle1.query(probe)), num_lines
+            lambda probe: oracle2.query_inverse(oracle1.query(probe)),
+            num_lines,
+            query_many=lambda probes: oracle2.query_inverse_many(
+                oracle1.query_many(probes)
+            ),
         )
         regime = "classical-inverse"
     elif oracle1.has_inverse:
         # C_pi^{-1} = C1^{-1} . C2.
         pi_inverse = identify_line_permutation(
-            lambda probe: oracle1.query_inverse(oracle2.query(probe)), num_lines
+            lambda probe: oracle1.query_inverse(oracle2.query(probe)),
+            num_lines,
+            query_many=lambda probes: oracle1.query_inverse_many(
+                oracle2.query_many(probes)
+            ),
         )
         pi_x = pi_inverse.inverse()
         regime = "classical-inverse"

@@ -17,29 +17,49 @@ from repro.core.matchers._sequences import QuerySnapshot, identify_line_permutat
 from repro.core.matchers.p_i import identify_input_permutation
 from repro.core.problem import MatchContext, MatchingProblem, MatchingResult
 from repro.core.registry import Capability, MatcherKind, register_matcher
-from repro.oracles.oracle import FunctionOracle, ReversibleOracle, as_oracle
+from repro.oracles.oracle import ReversibleOracle, as_oracle
 
 __all__ = ["match_p_n"]
 
 
-def _negated_output_view(oracle: ReversibleOracle, mask: int) -> ReversibleOracle:
-    """An oracle view computing ``C_nu . oracle`` without extra query cost.
+class _NegatedOutputOracle(ReversibleOracle):
+    """A composed oracle view computing ``C_nu . oracle`` at no extra cost.
 
     Forward queries XOR the mask onto the wrapped oracle's response; inverse
     queries XOR the mask onto the argument before calling the wrapped
     inverse.  Queries are charged to the wrapped oracle (the view's own
-    counters are ignored by the caller).
+    counters are ignored by the caller), and the batch hooks forward to the
+    wrapped oracle's ``query_many`` so the composed view keeps the
+    bit-parallel capability of whatever it wraps.
     """
-    if oracle.has_inverse:
-        return FunctionOracle(
-            lambda value: oracle.query(value) ^ mask,
-            oracle.num_lines,
-            inverse_function=lambda value: oracle.query_inverse(value ^ mask),
-            with_inverse=True,
+
+    def __init__(self, oracle: ReversibleOracle, mask: int) -> None:
+        super().__init__(oracle.num_lines, with_inverse=oracle.has_inverse)
+        self._oracle = oracle
+        self._mask = mask
+
+    def _evaluate(self, value: int) -> int:
+        return self._oracle.query(value) ^ self._mask
+
+    def _evaluate_inverse(self, value: int) -> int:
+        return self._oracle.query_inverse(value ^ self._mask)
+
+    def _evaluate_many(self, values: list[int]) -> list[int]:
+        mask = self._mask
+        return [
+            response ^ mask for response in self._oracle.query_many(values)
+        ]
+
+    def _evaluate_inverse_many(self, values: list[int]) -> list[int]:
+        mask = self._mask
+        return self._oracle.query_inverse_many(
+            [value ^ mask for value in values]
         )
-    return FunctionOracle(
-        lambda value: oracle.query(value) ^ mask, oracle.num_lines
-    )
+
+
+def _negated_output_view(oracle: ReversibleOracle, mask: int) -> ReversibleOracle:
+    """An oracle view computing ``C_nu . oracle`` without extra query cost."""
+    return _NegatedOutputOracle(oracle, mask)
 
 
 def match_p_n(circuit1, circuit2) -> MatchingResult:
@@ -64,12 +84,20 @@ def match_p_n(circuit1, circuit2) -> MatchingResult:
     virtual = _negated_output_view(oracle2, mask)
     if virtual.has_inverse:
         pi_x = identify_line_permutation(
-            lambda probe: virtual.query_inverse(oracle1.query(probe)), num_lines
+            lambda probe: virtual.query_inverse(oracle1.query(probe)),
+            num_lines,
+            query_many=lambda probes: virtual.query_inverse_many(
+                oracle1.query_many(probes)
+            ),
         )
         regime = "classical-inverse"
     elif oracle1.has_inverse:
         pi_inverse = identify_line_permutation(
-            lambda probe: oracle1.query_inverse(virtual.query(probe)), num_lines
+            lambda probe: oracle1.query_inverse(virtual.query(probe)),
+            num_lines,
+            query_many=lambda probes: oracle1.query_inverse_many(
+                virtual.query_many(probes)
+            ),
         )
         pi_x = pi_inverse.inverse()
         regime = "classical-inverse"

@@ -14,8 +14,9 @@ and quantum query counts are directly comparable.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 
+from repro.circuits import bitslice
 from repro.circuits.circuit import ReversibleCircuit
 from repro.circuits.permutation import Permutation
 from repro.exceptions import (
@@ -103,6 +104,22 @@ class ReversibleOracle(ABC):
         self._check_input(value)
         return self._evaluate(value)
 
+    def evaluate_many(self, values: "Iterable[int]") -> list[int]:
+        """White-box batch evaluation, charging no queries.
+
+        The batch counterpart of :meth:`peek` and the capability the
+        bit-parallel hot path hangs off: the base class falls back to a
+        scalar loop (exactly ``[self.peek(v) for v in values]``), while
+        :class:`CircuitOracle` overrides the hook with the 64-lane
+        bitsliced evaluator and :class:`PermutationOracle` with direct
+        table lookups.  Like ``peek``/``peek_table``, never for matchers —
+        they batch through :meth:`query_many`, which charges.
+        """
+        values = list(values)
+        for value in values:
+            self._check_input(value)
+        return self._evaluate_many(values)
+
     def peek_table(self) -> list[int]:
         """White-box tabulation of the hidden function, charging no queries.
 
@@ -110,9 +127,11 @@ class ReversibleOracle(ABC):
         oracles, this steps outside the black-box model: it is for
         verification and for the service layer's fingerprinting/caching,
         never for matchers (whose complexity is measured in queries).
-        Exponential in the line count.
+        Exponential in the line count — fingerprinting routes through
+        :meth:`evaluate_many` on a bounded probe set instead wherever the
+        probe scheme applies (the ``peek_table`` cost cliff).
         """
-        return [self._evaluate(value) for value in range(1 << self._num_lines)]
+        return self._evaluate_many(list(range(1 << self._num_lines)))
 
     # -- querying --------------------------------------------------------------
     def _charge(self) -> None:
@@ -152,6 +171,36 @@ class ReversibleOracle(ABC):
         self._inverse_queries += 1
         return self._evaluate_inverse(value)
 
+    def query_many(self, values: Iterable[int]) -> list[int]:
+        """Batch form of :meth:`query`: one logical query per value.
+
+        Query accounting is *per probe, not per word*: each value is
+        checked and charged in order exactly as the scalar loop
+        ``[self.query(v) for v in values]`` would, so a budget that
+        exhausts mid-batch raises at the same probe index with the same
+        counters — only the evaluation itself is batched (bitsliced for
+        circuit oracles), never the complexity measure.
+        """
+        values = list(values)
+        for value in values:
+            self._check_input(value)
+            self._charge()
+            self._forward_queries += 1
+        return self._evaluate_many(values)
+
+    def query_inverse_many(self, values: Iterable[int]) -> list[int]:
+        """Batch form of :meth:`query_inverse` (same accounting contract)."""
+        if not self._with_inverse:
+            raise InverseUnavailableError(
+                "this oracle does not expose the inverse circuit"
+            )
+        values = list(values)
+        for value in values:
+            self._check_input(value)
+            self._charge()
+            self._inverse_queries += 1
+        return self._evaluate_inverse_many(values)
+
     # -- implementation hooks --------------------------------------------------
     @abstractmethod
     def _evaluate(self, value: int) -> int:
@@ -160,6 +209,18 @@ class ReversibleOracle(ABC):
     @abstractmethod
     def _evaluate_inverse(self, value: int) -> int:
         """Evaluate the hidden inverse function (no counting, no checks)."""
+
+    def _evaluate_many(self, values: list[int]) -> list[int]:
+        """Batch-evaluate the hidden function (no counting, no checks).
+
+        The scalar reference loop; concrete oracles with a bit-parallel
+        representation override this.
+        """
+        return [self._evaluate(value) for value in values]
+
+    def _evaluate_inverse_many(self, values: list[int]) -> list[int]:
+        """Batch-evaluate the hidden inverse (no counting, no checks)."""
+        return [self._evaluate_inverse(value) for value in values]
 
 
 class CircuitOracle(ReversibleOracle):
@@ -179,6 +240,11 @@ class CircuitOracle(ReversibleOracle):
         super().__init__(circuit.num_lines, with_inverse, max_queries)
         self._circuit = circuit
         self._inverse_circuit = circuit.inverse() if with_inverse else None
+        # (num_gates, compiled ops or None) — circuits only grow by
+        # appending, so a gate-count mismatch is a reliable staleness
+        # signal for the compiled-op cache.
+        self._compiled: tuple[int, list[tuple] | None] | None = None
+        self._compiled_inverse: tuple[int, list[tuple] | None] | None = None
 
     @property
     def circuit(self) -> ReversibleCircuit:
@@ -191,6 +257,36 @@ class CircuitOracle(ReversibleOracle):
     def _evaluate_inverse(self, value: int) -> int:
         assert self._inverse_circuit is not None
         return self._inverse_circuit.simulate(value)
+
+    @staticmethod
+    def _compiled_ops(
+        circuit: ReversibleCircuit,
+        cache: tuple[int, list[tuple] | None] | None,
+    ) -> tuple[int, list[tuple] | None]:
+        if cache is not None and cache[0] == circuit.num_gates:
+            return cache
+        gates = circuit.gates
+        ops = bitslice.compile_gates(gates) if bitslice.supports(gates) else None
+        return (circuit.num_gates, ops)
+
+    def _evaluate_many(self, values: list[int]) -> list[int]:
+        # 64-lane bitsliced evaluation; user-defined gate kinds fall back
+        # to the scalar reference loop.
+        self._compiled = self._compiled_ops(self._circuit, self._compiled)
+        ops = self._compiled[1]
+        if ops is None:
+            return super()._evaluate_many(values)
+        return bitslice.evaluate_compiled(ops, self._num_lines, values)
+
+    def _evaluate_inverse_many(self, values: list[int]) -> list[int]:
+        assert self._inverse_circuit is not None
+        self._compiled_inverse = self._compiled_ops(
+            self._inverse_circuit, self._compiled_inverse
+        )
+        ops = self._compiled_inverse[1]
+        if ops is None:
+            return super()._evaluate_inverse_many(values)
+        return bitslice.evaluate_compiled(ops, self._num_lines, values)
 
 
 class PermutationOracle(ReversibleOracle):
@@ -217,6 +313,15 @@ class PermutationOracle(ReversibleOracle):
     def _evaluate_inverse(self, value: int) -> int:
         assert self._inverse is not None
         return self._inverse(value)
+
+    def _evaluate_many(self, values: list[int]) -> list[int]:
+        mapping = self._permutation.mapping
+        return [mapping[value] for value in values]
+
+    def _evaluate_inverse_many(self, values: list[int]) -> list[int]:
+        assert self._inverse is not None
+        mapping = self._inverse.mapping
+        return [mapping[value] for value in values]
 
 
 class FunctionOracle(ReversibleOracle):

@@ -44,11 +44,13 @@ and now the fingerprint scheme itself) and therefore what is cached.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 from abc import ABC, abstractmethod
 from dataclasses import asdict, dataclass
 
+from repro.circuits import bitslice
 from repro.circuits.circuit import ReversibleCircuit
 from repro.circuits.permutation import Permutation
 from repro.core.engine import MatchingConfig
@@ -177,6 +179,21 @@ def _width(target) -> int | None:
     return None
 
 
+@functools.lru_cache(maxsize=512)
+def _probe_inputs_cached(
+    num_lines: int, count: int, salt: str
+) -> tuple[int, ...]:
+    seed = hashlib.sha256(f"{num_lines}:{salt}".encode("utf-8")).digest()
+    return tuple(
+        int.from_bytes(
+            hashlib.sha256(seed + index.to_bytes(8, "big")).digest()[:8],
+            "big",
+        )
+        % (1 << num_lines)
+        for index in range(count)
+    )
+
+
 def probe_inputs(
     num_lines: int, count: int, salt: str = PROBE_SALT
 ) -> list[int]:
@@ -185,18 +202,14 @@ def probe_inputs(
     Derived from ``sha256(f"{num_lines}:{salt}")`` expanded in counter
     mode — a pure function of ``(num_lines, count, salt)``, so every
     process, host and run derives the identical set (what makes probe
-    digests canonical).  Duplicates are possible and kept: the digest is
-    over the output *sequence*, so determinism matters more than
+    digests canonical) and the expansion is memoised per ``(num_lines,
+    count, salt)`` triple.  Duplicates are possible and kept: the digest
+    is over the output *sequence*, so determinism matters more than
     coverage.
     """
     if count <= 0:
         raise FingerprintError(f"probe count must be positive, got {count}")
-    seed = hashlib.sha256(f"{num_lines}:{salt}".encode("utf-8")).digest()
-    inputs = []
-    for index in range(count):
-        block = hashlib.sha256(seed + index.to_bytes(8, "big")).digest()
-        inputs.append(int.from_bytes(block[:8], "big") % (1 << num_lines))
-    return inputs
+    return list(_probe_inputs_cached(num_lines, count, salt))
 
 
 # ---------------------------------------------------------------------------
@@ -238,12 +251,17 @@ class TruthTableFingerprinter(Fingerprinter):
     scheme = "exact"
     cost_rank = 10
 
-    def __init__(self, width_limit: int = FUNCTIONAL_WIDTH_LIMIT) -> None:
+    def __init__(
+        self,
+        width_limit: int = FUNCTIONAL_WIDTH_LIMIT,
+        batched: bool = True,
+    ) -> None:
         if width_limit <= 0:
             raise FingerprintError(
                 f"width limit must be positive, got {width_limit}"
             )
         self.width_limit = width_limit
+        self.batched = batched
 
     def supports(self, target) -> bool:
         width = _width(target)
@@ -253,11 +271,18 @@ class TruthTableFingerprinter(Fingerprinter):
         if isinstance(target, Permutation):
             return list(target.mapping)
         if isinstance(target, ReversibleCircuit):
+            if self.batched and bitslice.supports(target.gates):
+                return bitslice.simulate_many(
+                    target, range(1 << target.num_lines)
+                )
             return target.truth_table()
         if isinstance(target, QuantumCircuitOracle):
             return list(target.permutation.mapping)
-        # Any classical oracle, opaque or not: the white-box peek_table
-        # escape hatch tabulates without charging queries.
+        # Any classical oracle, opaque or not: white-box tabulation without
+        # charging queries.  evaluate_many keeps circuit-backed oracles on
+        # the bitsliced path; peek_table is the scalar reference.
+        if self.batched:
+            return target.evaluate_many(range(1 << target.num_lines))
         return target.peek_table()
 
     def fingerprint(self, target, ctx: FingerprintContext) -> OracleFingerprint:
@@ -278,8 +303,15 @@ class SampledProbeFingerprinter(Fingerprinter):
     the salt and the probe count, so the digest is canonical across
     representations of the same function — including *opaque* oracles,
     which are evaluated through their white-box
-    :meth:`~repro.oracles.oracle.ReversibleOracle.peek` hatch so
-    fingerprinting stays free under the query-complexity accounting.
+    :meth:`~repro.oracles.oracle.ReversibleOracle.evaluate_many` hatch so
+    fingerprinting stays free under the query-complexity accounting **and**
+    bounded by the probe budget at every width: an opaque 16-line oracle
+    costs ``probe_count`` evaluations, never a ``2**16``-entry tabulation
+    (the ``peek_table`` cost cliff).  The whole probe set is evaluated in
+    one batched call — bitsliced for circuit-backed targets — and batching
+    is digest-invariant: ``batched=False`` keeps the scalar reference loop
+    and produces byte-identical digests (the differential fingerprint
+    tests hold the two paths together, so ``v2|`` cache keys never fork).
     The probe count bounds the work per fingerprint (the "probe budget");
     distinctness is probabilistic, as documented in ``docs/cache-keys.md``.
     """
@@ -292,6 +324,7 @@ class SampledProbeFingerprinter(Fingerprinter):
         self,
         probe_count: int = DEFAULT_PROBE_COUNT,
         salt: str = PROBE_SALT,
+        batched: bool = True,
     ) -> None:
         if probe_count <= 0:
             raise FingerprintError(
@@ -299,6 +332,7 @@ class SampledProbeFingerprinter(Fingerprinter):
             )
         self.probe_count = probe_count
         self.salt = salt
+        self.batched = batched
 
     def supports(self, target) -> bool:
         return _width(target) is not None
@@ -312,13 +346,28 @@ class SampledProbeFingerprinter(Fingerprinter):
             return target.permutation
         return target.peek
 
+    def _outputs(self, target, probes: list[int]) -> list[int]:
+        """The target's responses on the probe set, batched when possible."""
+        if not self.batched:
+            evaluate = self._evaluator(target)
+            return [evaluate(value) for value in probes]
+        if isinstance(target, Permutation):
+            mapping = target.mapping
+            return [mapping[value] for value in probes]
+        if isinstance(target, ReversibleCircuit):
+            if bitslice.supports(target.gates):
+                return bitslice.simulate_many(target, probes)
+            return [target.simulate(value) for value in probes]
+        if isinstance(target, QuantumCircuitOracle):
+            mapping = target.permutation.mapping
+            return [mapping[value] for value in probes]
+        return target.evaluate_many(probes)
+
     def fingerprint(self, target, ctx: FingerprintContext) -> OracleFingerprint:
         width = _width(target)
-        evaluate = self._evaluator(target)
-        outputs = [
-            evaluate(value)
-            for value in probe_inputs(width, self.probe_count, self.salt)
-        ]
+        outputs = self._outputs(
+            target, probe_inputs(width, self.probe_count, self.salt)
+        )
         payload = (
             f"probe:{self.salt}:{self.probe_count}:"
             + ",".join(str(value) for value in outputs)
@@ -436,6 +485,7 @@ def build_registry(
     probe_count: int = DEFAULT_PROBE_COUNT,
     width_limit: int = FUNCTIONAL_WIDTH_LIMIT,
     salt: str = PROBE_SALT,
+    batched: bool = True,
 ) -> FingerprintRegistry:
     """The standard registry for one of the :data:`FINGERPRINT_SCHEMES`.
 
@@ -445,18 +495,27 @@ def build_registry(
     * ``exact`` — exact up to the limit, structure beyond; opaque wide
       oracles are unfingerprintable (bypass the cache).
     * ``probe`` — sampled probes at every width.
+
+    ``batched=False`` pins every strategy to its scalar reference loop;
+    digests are byte-identical either way (batching is evaluation
+    strategy, not identity, so it is deliberately *not* part of
+    :func:`config_digest`).
     """
     if scheme == "exact":
         strategies: tuple[Fingerprinter, ...] = (
-            TruthTableFingerprinter(width_limit),
+            TruthTableFingerprinter(width_limit, batched=batched),
             StructureFingerprinter(),
         )
     elif scheme == "probe":
-        strategies = (SampledProbeFingerprinter(probe_count, salt),)
+        strategies = (
+            SampledProbeFingerprinter(probe_count, salt, batched=batched),
+        )
     elif scheme == "auto":
-        strategies = (TruthTableFingerprinter(width_limit),)
+        strategies = (TruthTableFingerprinter(width_limit, batched=batched),)
         if probe_count > 0:
-            strategies += (SampledProbeFingerprinter(probe_count, salt),)
+            strategies += (
+                SampledProbeFingerprinter(probe_count, salt, batched=batched),
+            )
         strategies += (StructureFingerprinter(),)
     else:
         raise FingerprintError(

@@ -1,0 +1,135 @@
+"""Accounting regressions for the batch query/evaluation API.
+
+The bit-parallel hot path must never bend the query-complexity model:
+``query_many``/``query_inverse_many`` charge one logical query per
+*value* (never per 64-lane word) in the same order as the scalar loop,
+so counters, budget-exhaustion points and validation errors are
+indistinguishable from ``[oracle.query(v) for v in values]``.  The
+white-box ``evaluate_many`` capability, by contrast, charges nothing —
+exactly like ``peek``/``peek_table``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuits.random import random_circuit
+from repro.exceptions import (
+    InverseUnavailableError,
+    OracleError,
+    QueryBudgetExceededError,
+)
+from repro.oracles import CircuitOracle, FunctionOracle
+
+SEED = 20240712
+
+
+def _opaque_oracle(num_lines=5, max_queries=None, with_inverse=False):
+    """A query-charged oracle with no bit-parallel representation."""
+    mask = (1 << num_lines) - 1
+
+    def forward(value):
+        return value ^ mask
+
+    return FunctionOracle(
+        forward,
+        num_lines,
+        inverse_function=forward if with_inverse else None,
+        with_inverse=with_inverse,
+        max_queries=max_queries,
+    )
+
+
+class TestBatchCharging:
+    def test_query_many_charges_per_value(self):
+        oracle = _opaque_oracle()
+        values = [3, 7, 7, 0, 21]
+        responses = oracle.query_many(values)
+        assert oracle.query_count == len(values)
+        assert oracle.total_queries == len(values)
+        assert responses == [value ^ 0b11111 for value in values]
+
+    def test_query_many_matches_scalar_loop(self):
+        rng = random.Random(SEED)
+        circuit = random_circuit(6, 24, rng)
+        values = [rng.getrandbits(6) for _ in range(130)]
+        batched = CircuitOracle(circuit)
+        scalar = CircuitOracle(circuit)
+        assert batched.query_many(values) == [
+            scalar.query(value) for value in values
+        ]
+        assert batched.query_count == scalar.query_count == len(values)
+
+    def test_query_inverse_many_charges_inverse_counter(self):
+        oracle = _opaque_oracle(with_inverse=True)
+        oracle.query_inverse_many([1, 2, 3])
+        assert oracle.inverse_query_count == 3
+        assert oracle.query_count == 0
+
+    def test_query_inverse_many_without_inverse_charges_nothing(self):
+        oracle = _opaque_oracle()
+        with pytest.raises(InverseUnavailableError):
+            oracle.query_inverse_many([0, 1])
+        assert oracle.total_queries == 0
+
+    def test_evaluate_many_charges_nothing(self):
+        rng = random.Random(SEED)
+        oracle = CircuitOracle(random_circuit(8, 20, rng))
+        values = [rng.getrandbits(8) for _ in range(100)]
+        outputs = oracle.evaluate_many(values)
+        assert outputs == [oracle.peek(value) for value in values]
+        assert oracle.total_queries == 0
+
+
+class TestBudgetExhaustionParity:
+    def test_batch_raises_at_the_scalar_probe_index(self):
+        """A budget that dies mid-batch dies exactly where the loop would."""
+        budget = 4
+        values = [1, 2, 3, 4, 5, 6, 7]
+
+        scalar = _opaque_oracle(max_queries=budget)
+        scalar_index = None
+        for index, value in enumerate(values):
+            try:
+                scalar.query(value)
+            except QueryBudgetExceededError:
+                scalar_index = index
+                break
+        assert scalar_index == budget
+
+        batched = _opaque_oracle(max_queries=budget)
+        with pytest.raises(QueryBudgetExceededError):
+            batched.query_many(values)
+        # Same counters at the moment of the raise: the first `budget`
+        # probes were charged, the failing one was not.
+        assert batched.query_count == scalar.query_count == budget
+        assert batched.total_queries == scalar.total_queries == budget
+
+    def test_budget_spans_forward_and_inverse_batches(self):
+        oracle = _opaque_oracle(max_queries=5, with_inverse=True)
+        oracle.query_many([0, 1, 2])
+        with pytest.raises(QueryBudgetExceededError):
+            oracle.query_inverse_many([3, 4, 5])
+        assert oracle.query_count == 3
+        assert oracle.inverse_query_count == 2
+
+    def test_exact_budget_batch_succeeds(self):
+        oracle = _opaque_oracle(max_queries=3)
+        assert len(oracle.query_many([0, 1, 2])) == 3
+        assert oracle.query_count == 3
+
+    def test_invalid_value_raises_at_the_scalar_index(self):
+        """Validation order matches the loop: earlier probes are charged."""
+        values = [0, 1, 1 << 5, 2]
+
+        scalar = _opaque_oracle()
+        with pytest.raises(OracleError, match="does not fit"):
+            for value in values:
+                scalar.query(value)
+
+        batched = _opaque_oracle()
+        with pytest.raises(OracleError, match="does not fit"):
+            batched.query_many(values)
+        assert batched.query_count == scalar.query_count == 2

@@ -1,0 +1,127 @@
+"""Batched-vs-scalar fingerprint invariance, and the peek_table cliff.
+
+Batching is an evaluation strategy, never an identity: for every
+registered scheme the digests produced with ``batched=True`` and
+``batched=False`` must be byte-identical on every target — including
+the wide (16-24 line) corpus family, where the probe tier is the only
+functional identity.  The second half pins the ``peek_table`` cost
+cliff fix: sampled-probe fingerprints of an opaque wide oracle touch
+exactly ``probe_count`` inputs, never the exponential table.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuits.io import real
+from repro.circuits.random import random_circuit
+from repro.oracles.oracle import CircuitOracle, FunctionOracle, PermutationOracle
+from repro.circuits.permutation import Permutation
+from repro.service.fingerprint import (
+    DEFAULT_PROBE_COUNT,
+    FINGERPRINT_SCHEMES,
+    SampledProbeFingerprinter,
+    FingerprintContext,
+    build_registry,
+    config_digest,
+)
+from repro.core.engine import MatchingConfig
+from repro.service.workload import CorpusManifest, generate_corpus
+
+CORPUS_SEED = 20240601
+
+
+@pytest.fixture(scope="module")
+def wide_family_circuits(tmp_path_factory):
+    """Every circuit of a generated ``wide`` (16-24 line) corpus."""
+    root = tmp_path_factory.mktemp("fp_wide_corpus")
+    manifest = generate_corpus(
+        root, families=("wide",), pairs_per_class=1, seed=CORPUS_SEED
+    )
+    circuits = []
+    for entry in manifest.entries:
+        circuits.append(real.read_real(root / entry.circuit1))
+        circuits.append(real.read_real(root / entry.circuit2))
+    assert circuits and all(c.num_lines >= 16 for c in circuits)
+    return circuits
+
+
+class TestBatchedDigestInvariance:
+    @pytest.mark.parametrize("scheme", FINGERPRINT_SCHEMES)
+    def test_wide_corpus_digests_identical(self, scheme, wide_family_circuits):
+        batched = build_registry(scheme, batched=True)
+        scalar = build_registry(scheme, batched=False)
+        for circuit in wide_family_circuits:
+            fp_batched = batched.fingerprint(circuit)
+            fp_scalar = scalar.fingerprint(circuit)
+            assert fp_batched.key == fp_scalar.key
+            assert fp_batched.digest == fp_scalar.digest
+
+    @pytest.mark.parametrize("scheme", FINGERPRINT_SCHEMES)
+    def test_narrow_targets_digests_identical(self, scheme, rng):
+        """Below the width limit the exact tier batches too."""
+        circuit = random_circuit(6, 24, rng)
+        targets = [
+            circuit,
+            CircuitOracle(circuit, with_inverse=True),
+            Permutation(list(circuit.truth_table())),
+            PermutationOracle(Permutation(list(circuit.truth_table()))),
+        ]
+        batched = build_registry(scheme, batched=True)
+        scalar = build_registry(scheme, batched=False)
+        for target in targets:
+            assert (
+                batched.fingerprint(target).key
+                == scalar.fingerprint(target).key
+            )
+
+    def test_batched_flag_is_not_part_of_the_config_digest(self):
+        """Cache keys never fork on the evaluation strategy."""
+        config = MatchingConfig()
+        assert config_digest(config) == config_digest(config)
+        # The registry knob itself leaves every produced key unchanged
+        # (asserted above), so the config digest has nothing to record.
+
+
+class _CountingOracle(FunctionOracle):
+    """An opaque oracle that counts evaluations and forbids tabulation."""
+
+    def __init__(self, num_lines: int) -> None:
+        mask = (1 << num_lines) - 1
+        super().__init__(lambda value: value ^ mask, num_lines)
+        self.evaluations = 0
+
+    def _evaluate(self, value: int) -> int:
+        self.evaluations += 1
+        return super()._evaluate(value)
+
+    def peek_table(self):  # pragma: no cover - the cliff this test pins
+        raise AssertionError(
+            "peek_table would materialise 2**num_lines entries; the probe "
+            "fingerprinter must stay on the bounded probe set"
+        )
+
+
+class TestPeekTableCliff:
+    def test_width_16_oracle_is_probed_not_tabulated(self):
+        """The fingerprint of a 16-line opaque oracle costs 64 evaluations,
+        not a 65536-entry table."""
+        oracle = _CountingOracle(16)
+        fp = build_registry("auto").fingerprint(oracle)
+        assert fp.scheme == "probe"
+        assert oracle.evaluations == DEFAULT_PROBE_COUNT
+        assert oracle.total_queries == 0  # white-box, never charged
+
+    def test_scalar_reference_path_is_also_bounded(self):
+        oracle = _CountingOracle(16)
+        strategy = SampledProbeFingerprinter(batched=False)
+        strategy.fingerprint(oracle, FingerprintContext())
+        assert oracle.evaluations == DEFAULT_PROBE_COUNT
+
+    def test_probe_count_scales_the_cost(self):
+        oracle = _CountingOracle(18)
+        registry = build_registry("probe", probe_count=7)
+        registry.fingerprint(oracle)
+        assert oracle.evaluations == 7
