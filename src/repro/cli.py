@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seventeen sub-commands cover the workflows a user of the library
+Eighteen sub-commands cover the workflows a user of the library
 reaches for most often without writing Python:
 
 * ``repro info CIRCUIT.real`` — line/gate counts, cost metrics and an ASCII
@@ -35,6 +35,9 @@ reaches for most often without writing Python:
 * ``repro cache migrate`` — inventory a disk result cache across key
   versions and (``--drop-v1``) reclaim entries stranded by a key-contract
   bump;
+* ``repro cache-server`` — serve a shared result cache over the
+  ``repro-cache/v1`` protocol of ``docs/remote-cache.md``; runs mount it
+  behind their local tiers with ``--remote-cache ADDR``;
 * ``repro serve`` — run the long-lived matching daemon (one warm engine
   and shared result cache across many submissions) on a Unix or TCP
   socket, speaking the ``repro-daemon/v1`` protocol of ``docs/protocol.md``;
@@ -293,6 +296,11 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.no_cache:
+        if args.remote_cache is not None:
+            raise ReproError(
+                "--remote-cache rides behind the local cache tiers; "
+                "drop --no-cache to use it"
+            )
         cache = None
     else:
         if args.cache_size <= 0:
@@ -300,7 +308,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"--cache-size must be positive, got {args.cache_size} "
                 "(use --no-cache to disable caching)"
             )
-        cache = build_cache(memory_size=args.cache_size, disk_dir=args.cache_dir)
+        remote_token = None
+        if args.auth_token_file is not None:
+            remote_token = _read_token_file(args.auth_token_file)
+        cache = build_cache(
+            memory_size=args.cache_size,
+            disk_dir=args.cache_dir,
+            remote=args.remote_cache,
+            remote_auth_token=remote_token,
+        )
     metrics = None
     if args.metrics is not None:
         from repro.obs.metrics import MetricsRegistry
@@ -530,6 +546,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queued=args.max_queued,
         auth_token=token,
         insecure=args.insecure,
+        remote_cache=args.remote_cache,
     )
     daemon.start()
     print(f"listening on {daemon.address} (store dir: {daemon.store_dir})")
@@ -540,6 +557,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         daemon.stop()
     print("daemon stopped")
+    return 0
+
+
+def _cmd_cache_server(args: argparse.Namespace) -> int:
+    from repro.cachenet import CacheServer
+
+    if args.cache_size <= 0:
+        raise ReproError(
+            f"--cache-size must be positive, got {args.cache_size}"
+        )
+    cache = build_cache(memory_size=args.cache_size, disk_dir=args.cache_dir)
+    token = None
+    if args.auth_token_file is not None:
+        token = _read_token_file(args.auth_token_file)
+    if args.socket is None and args.host is None:
+        args.socket = str(
+            Path(args.cache_dir) / "cache.sock"
+            if args.cache_dir
+            else Path("cache.sock")
+        )
+    server = CacheServer(
+        cache,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        auth_token=token,
+        insecure=args.insecure,
+    )
+    server.start()
+    print(f"cache server listening on {server.address}")
+    if args.address_file is not None:
+        Path(args.address_file).write_text(server.address + "\n", encoding="utf-8")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        server.stop()
+    print("cache server stopped")
     return 0
 
 
@@ -620,6 +674,7 @@ def _fleet_coordinator(args: argparse.Namespace, observers, metrics):
         hang_timeout_s=args.hang_timeout,
         max_attempts=args.max_attempts,
         timeout=args.timeout,
+        remote_cache=args.remote_cache,
     )
 
 
@@ -721,6 +776,14 @@ def _cmd_fingerprint(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     # argparse restricts `action` to "migrate"; the sub-command keeps the
     # action slot so future maintenance verbs (gc, stats) slot in.
+    if args.remote is not None:
+        raise ReproError(
+            "cache migrate cannot run against a remote cache server: the "
+            "repro-cache/v1 wire protocol moves records, not key versions, "
+            "and migrating entries out from under a live server would race "
+            "its writers.  Stop the server and run 'repro cache migrate "
+            "--cache-dir DIR' on its host against the same directory."
+        )
     counts = migrate_cache(args.cache_dir, drop_v1=args.drop_v1)
     print(
         f"{args.cache_dir}: {counts['v2']} current (v2) entries, "
@@ -927,6 +990,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the result cache on disk so later runs can reuse it",
     )
     runner.add_argument(
+        "--remote-cache", metavar="ADDR",
+        help="shared cache server behind the local tiers (unix:<path> or "
+        "tcp:<host>:<port>, from 'repro cache-server'); a dead server "
+        "degrades to local-only, never fails the run",
+    )
+    runner.add_argument(
+        "--auth-token-file", metavar="PATH",
+        help="file holding the --remote-cache server's shared secret",
+    )
+    runner.add_argument(
         "--verify", action="store_true",
         help="exhaustively verify the witnesses of freshly executed pairs",
     )
@@ -1038,7 +1111,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--drop-v1", action="store_true",
         help="delete stale (v1 or unreadable) entries instead of counting them",
     )
+    cache_admin.add_argument(
+        "--remote", metavar="ADDR",
+        help="refused: migration runs on the cache server's host against "
+        "its --cache-dir, with the server stopped",
+    )
     cache_admin.set_defaults(handler=_cmd_cache)
+
+    cache_server = subparsers.add_parser(
+        "cache-server",
+        help="serve a shared result cache to remote runs",
+        description=(
+            "Serves one result cache (in-memory LRU, optionally backed by "
+            "--cache-dir on disk) to many runs over the newline-delimited "
+            "JSON protocol repro-cache/v1 (docs/remote-cache.md), on a "
+            "Unix socket (default ./cache.sock, or <cache-dir>/cache.sock) "
+            "or TCP with --host/--port.  Point 'repro run', 'repro serve' "
+            "or 'repro fleet run' at it with --remote-cache: results one "
+            "host computes become cache hits on every other."
+        ),
+    )
+    cache_server.add_argument(
+        "--socket", metavar="PATH",
+        help="listen on this Unix socket (default ./cache.sock, or "
+        "<cache-dir>/cache.sock with --cache-dir)",
+    )
+    cache_server.add_argument("--host", help="listen on TCP at this host instead")
+    cache_server.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (with --host; 0 = pick a free one)",
+    )
+    cache_server.add_argument(
+        "--address-file", metavar="PATH",
+        help="write the bound address here (what --remote-cache consumers read)",
+    )
+    cache_server.add_argument(
+        "--auth-token-file", metavar="PATH",
+        help="require clients to present this file's shared secret in an "
+        "'auth' handshake (mandatory for non-loopback --host binds)",
+    )
+    cache_server.add_argument(
+        "--insecure", action="store_true",
+        help="serve on a non-loopback --host without an auth token "
+        "(refused otherwise)",
+    )
+    cache_server.add_argument(
+        "--cache-size", type=int, default=4096, metavar="N",
+        help="in-memory LRU capacity in results (default 4096)",
+    )
+    cache_server.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persist the served cache on disk (survives server restarts)",
+    )
+    cache_server.set_defaults(handler=_cmd_cache_server)
 
     def add_daemon_address(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -1130,6 +1255,11 @@ def build_parser() -> argparse.ArgumentParser:
     server.add_argument(
         "--no-cache", action="store_true",
         help="disable the shared result cache entirely",
+    )
+    server.add_argument(
+        "--remote-cache", metavar="ADDR",
+        help="default shared cache server for submissions that name none "
+        "(the submit frame's remote_cache field overrides per run)",
     )
     server.add_argument(
         "--verify", action="store_true",
@@ -1277,6 +1407,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--timeout", type=float, default=10.0, metavar="SECONDS",
         help="socket timeout for one-shot control requests (default 10)",
+    )
+    fleet.add_argument(
+        "--remote-cache", metavar="ADDR",
+        help="shared cache server every worker mounts behind its local "
+        "tiers (the address must resolve from each worker's host)",
     )
     fleet.add_argument(
         "--metrics", metavar="PATH",

@@ -222,6 +222,11 @@ class FleetCoordinator:
             before the fleet run fails.
         timeout: socket timeout for one-shot control requests
             (ping/status/submit/fetch_store).
+        remote_cache: address of a shared ``repro cache-server`` every
+            shard submission names; each worker mounts it behind its
+            local cache tiers, so results computed by one worker are
+            cache hits on the rest.  Must resolve from the workers'
+            hosts.  Optional.
     """
 
     def __init__(
@@ -236,6 +241,7 @@ class FleetCoordinator:
         hang_timeout_s: float = 30.0,
         max_attempts: int = 3,
         timeout: float = 10.0,
+        remote_cache: str | None = None,
     ) -> None:
         if not peers:
             raise FleetError("a fleet needs at least one peer daemon")
@@ -253,6 +259,10 @@ class FleetCoordinator:
         self._hang_timeout_s = hang_timeout_s
         self._max_attempts = max_attempts
         self._timeout = timeout
+        # Shared cache server address every shard submission names, so
+        # all workers mount the same remote tier — results one worker
+        # computes are cache hits on every other (docs/remote-cache.md).
+        self._remote_cache = remote_cache
         self._counter = FleetRunIdCounter(self._work_dir / "fleet-run-id")
         self._lock = threading.Lock()
         # Fleet-level pair counters, maintained under the lock by the
@@ -541,6 +551,7 @@ class FleetCoordinator:
                 shard=(shard.index, shard.count),
                 records=settled or None,
                 resume=bool(settled),
+                remote_cache=self._remote_cache,
             )
         except DaemonError as error:
             # Covers timeouts, resets *and* error frames (e.g. "daemon

@@ -5,6 +5,7 @@ links resolve); these rules prove they are *true*, by parsing both sides
 of each documented contract and diffing the sets:
 
 * daemon ``op`` strings          <->  the Operations table in docs/protocol.md
+* cache-server ``op`` strings    <->  the Operations table in docs/remote-cache.md
 * event ``to_dict`` keys         <->  the catalogue table in docs/events.md
 * ``MatchingConfig`` fields      <->  the config_digest section of docs/cache-keys.md
 * CLI subcommands and flags      <->  README.md
@@ -26,6 +27,7 @@ from repro.lint.rules import ModuleContext, ProjectContext, ProjectRule
 
 __all__ = [
     "ProtocolOpsRule",
+    "CacheProtocolOpsRule",
     "EventFieldsRule",
     "ConfigDigestRule",
     "ReadmeFlagsRule",
@@ -54,17 +56,24 @@ def _section_lines(lines: list[str], heading_key: str):
 
 
 class ProtocolOpsRule(ProjectRule):
-    """Daemon ``op`` strings must match the protocol.md Operations table."""
+    """Daemon ``op`` strings must match the protocol.md Operations table.
+
+    The base of a small family: any server with a ``_dispatch`` method
+    comparing an ``op`` name against string constants gets the same
+    treatment by subclassing and repointing ``_SERVER``/``_DOC``/``_WHAT``
+    (see :class:`CacheProtocolOpsRule`).
+    """
 
     rule_id = "drift-protocol-ops"
     summary = ("daemon dispatch op strings and the docs/protocol.md "
                "Operations table must list the same operations")
 
-    _DAEMON = "repro/service/daemon.py"
+    _SERVER = "repro/service/daemon.py"
     _DOC = "docs/protocol.md"
+    _WHAT = "daemon"
 
     def check(self, project: ProjectContext) -> list[Finding]:
-        module = project.module(self._DAEMON)
+        module = project.module(self._SERVER)
         if module is None:
             return []
         code_ops = self._code_ops(module)
@@ -73,8 +82,9 @@ class ProtocolOpsRule(ProjectRule):
         doc = project.read_doc(self._DOC)
         if doc is None:
             return [self.finding(
-                self._DAEMON, 1,
-                f"daemon dispatches ops but {self._DOC} does not exist",
+                self._SERVER, 1,
+                f"the {self._WHAT} dispatches ops but {self._DOC} does "
+                "not exist",
             )]
         _, doc_lines = doc
         doc_ops: dict[str, int] = {}
@@ -86,14 +96,14 @@ class ProtocolOpsRule(ProjectRule):
         for op in sorted(set(code_ops) - set(doc_ops)):
             findings.append(self.finding(
                 module.relpath, code_ops[op],
-                f"daemon handles op {op!r} but the {self._DOC} Operations "
-                "table does not document it",
+                f"{self._WHAT} handles op {op!r} but the {self._DOC} "
+                "Operations table does not document it",
             ))
         for op in sorted(set(doc_ops) - set(code_ops)):
             findings.append(self.finding(
                 self._DOC, doc_ops[op],
-                f"{self._DOC} documents op {op!r} but the daemon dispatch "
-                "does not handle it",
+                f"{self._DOC} documents op {op!r} but the {self._WHAT} "
+                "dispatch does not handle it",
             ))
         return findings
 
@@ -123,6 +133,19 @@ class ProtocolOpsRule(ProjectRule):
                                     and isinstance(element.value, str)):
                                 ops.setdefault(element.value, element.lineno)
         return ops
+
+
+class CacheProtocolOpsRule(ProtocolOpsRule):
+    """CacheServer ``op`` strings must match docs/remote-cache.md."""
+
+    rule_id = "drift-cache-protocol-ops"
+    summary = ("cache-server dispatch op strings and the "
+               "docs/remote-cache.md Operations table must list the "
+               "same operations")
+
+    _SERVER = "repro/cachenet/server.py"
+    _DOC = "docs/remote-cache.md"
+    _WHAT = "cache server"
 
 
 class EventFieldsRule(ProjectRule):

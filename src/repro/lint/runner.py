@@ -25,6 +25,7 @@ from repro.lint.determinism import (
     WallClockRule,
 )
 from repro.lint.drift import (
+    CacheProtocolOpsRule,
     ConfigDigestRule,
     EventFieldsRule,
     MetricNamesRule,
@@ -67,6 +68,7 @@ def default_registry() -> LintRegistry:
         UnguardedAttrRule(),
         ThreadEntryMutationRule(),
         ProtocolOpsRule(),
+        CacheProtocolOpsRule(),
         EventFieldsRule(),
         ConfigDigestRule(),
         ReadmeFlagsRule(),

@@ -122,6 +122,18 @@ METRIC_CATALOG = {
         "type": "counter",
         "help": "Worker daemons the coordinator gave up on, by reason.",
     },
+    "repro_cachenet_requests_total": {
+        "type": "counter",
+        "help": "Remote-cache requests answered by the server, by op.",
+    },
+    "repro_cachenet_errors": {
+        "type": "counter",
+        "help": "Remote-cache wire failures absorbed by local degradation.",
+    },
+    "repro_cachenet_reconnects_total": {
+        "type": "counter",
+        "help": "Fresh connections the remote cache tier opened after a failure.",
+    },
 }
 
 

@@ -20,6 +20,7 @@ import hashlib
 import json
 import os
 import threading
+import warnings
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -240,7 +241,32 @@ class DiskCache(ResultCache):
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 envelope = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            # Missing file: the ordinary miss.  Other I/O refusals read
+            # as misses too — correctness never depends on a hit.
+            return None
+        except ValueError:
+            # Torn entry.  Our own writers publish atomically (temp file
+            # + os.replace), but a cache directory shared over NFS-style
+            # storage can expose a reader to a partially synced file —
+            # truncated JSON or even invalid UTF-8 (UnicodeDecodeError
+            # is a ValueError, not a JSONDecodeError).  Mirror the
+            # result store's torn-line rule: warn, count it a miss, and
+            # let the pair re-run.
+            warnings.warn(
+                f"{path}: skipping undecodable cache entry "
+                "(torn shared-disk write?); treating as a miss",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            return None
+        if not isinstance(envelope, dict):
+            warnings.warn(
+                f"{path}: cache entry is not an envelope object; "
+                "treating as a miss",
+                RuntimeWarning,
+                stacklevel=4,
+            )
             return None
         if envelope.get("key") != key:
             return None
@@ -293,6 +319,21 @@ class TieredCache(ResultCache):
         """The authoritative (typically on-disk) tier."""
         return self._slow
 
+    def prefetch(self, keys) -> None:
+        """Forward a batch-lookup hint to every member tier that takes one.
+
+        Local tiers have no ``prefetch`` and ignore the hint; a
+        :class:`~repro.cachenet.remote.RemoteCache` member resolves the
+        whole batch in one ``get_many`` round trip.  Stats are untouched
+        — lookups are counted when ``get`` consumes them.  Deliberately
+        outside this tier's lock, mirroring :meth:`bind_metrics`: each
+        member serialises under its own lock.
+        """
+        for member in (self._fast, self._slow):
+            hook = getattr(member, "prefetch", None)
+            if hook is not None:
+                hook(keys)
+
     def _get(self, key: str) -> dict | None:
         record = self._fast.get(key)
         if record is not None:
@@ -311,13 +352,34 @@ class TieredCache(ResultCache):
 
 
 def build_cache(
-    memory_size: int = 4096, disk_dir: str | os.PathLike | None = None
+    memory_size: int = 4096,
+    disk_dir: str | os.PathLike | None = None,
+    remote: str | None = None,
+    remote_auth_token: str | None = None,
 ) -> ResultCache:
-    """The standard cache stack: an LRU, optionally backed by a disk store."""
+    """The standard cache stack: LRU, optional disk tier, optional remote tier.
+
+    With ``remote`` (a ``unix:<path>`` / ``tcp:<host>:<port>`` cache-server
+    address, see ``docs/remote-cache.md``) the local stack fronts a
+    :class:`~repro.cachenet.remote.RemoteCache`: local misses fall
+    through to the shared server, remote hits are promoted locally, and
+    every store is written through — so a fleet of runs shares one
+    warm-hit pool.  The remote tier degrades to a no-op if the server is
+    unreachable; it can slow a run down, never fail one.
+    """
     memory = LRUCache(maxsize=memory_size)
-    if disk_dir is None:
-        return memory
-    return TieredCache(memory, DiskCache(disk_dir))
+    local: ResultCache = memory
+    if disk_dir is not None:
+        local = TieredCache(memory, DiskCache(disk_dir))
+    if remote is None:
+        return local
+    # Lazy import: repro.cachenet imports this module for the cache
+    # contract, so the service layer must only reach back at call time.
+    from repro.cachenet.remote import RemoteCache
+
+    return TieredCache(
+        local, RemoteCache.from_address(remote, auth_token=remote_auth_token)
+    )
 
 
 def migrate_cache(

@@ -57,7 +57,7 @@ from repro.exceptions import (
     ServiceError,
 )
 from repro.obs.metrics import MetricsRegistry
-from repro.service.cache import ResultCache, build_cache
+from repro.service.cache import ResultCache, TieredCache, build_cache
 from repro.service.events import Observer, event_from_dict
 from repro.service.executor import Executor, OverlapExecutor, SerialExecutor
 from repro.service.pipeline import MatchingService, ResultStore, parse_shard
@@ -145,6 +145,7 @@ class DaemonJob:
         resume: bool = False,
         shard: tuple[int, int] | None = None,
         records: list[dict] | None = None,
+        remote_cache: str | None = None,
     ) -> None:
         self.run_id = run_id
         self.manifest = manifest
@@ -154,6 +155,7 @@ class DaemonJob:
         self.resume = resume
         self.shard = shard
         self.records = records
+        self.remote_cache = remote_cache
         self.state = RunState.QUEUED
         self.error: str | None = None
         self.summary: dict | None = None
@@ -338,10 +340,20 @@ class MatchingDaemon:
             so store writes overlap execution and the engine stays warm
             across submissions.
         verify: exhaustively verify witnesses of freshly executed pairs.
+        remote_cache: a ``repro-cache/v1`` cache-server address
+            (``unix:<path>`` / ``tcp:<host>:<port>``, see
+            ``docs/remote-cache.md``) every run's lookups also consult —
+            the daemon's local cache fronts the shared remote tier, so a
+            fleet of daemons shares one warm-hit pool.  A submit may name
+            its own address per run.  The remote connection presents this
+            daemon's own ``auth_token`` and degrades to local-only when
+            the server is unreachable.
         auth_token: shared secret clients must present via the ``auth``
             op before any stateful request.  Required for a TCP bind on
             a non-loopback address (the daemon refuses to start without
-            one unless ``insecure`` is set); optional elsewhere.
+            one unless ``insecure`` is set); optional elsewhere.  Also
+            presented to the ``remote_cache`` server (one fleet-wide
+            shared secret).
         insecure: allow a non-loopback TCP bind with no auth token — an
             explicit opt-out for trusted networks, never the default.
         max_queued: bound on jobs waiting to run; a submit beyond it is
@@ -364,6 +376,7 @@ class MatchingDaemon:
         cache: ResultCache | None = _DEFAULT_CACHE,  # type: ignore[assignment]
         executor: Executor | None = None,
         verify: bool = False,
+        remote_cache: str | None = None,
         auth_token: str | None = None,
         insecure: bool = False,
         max_queued: int = 16,
@@ -402,6 +415,17 @@ class MatchingDaemon:
         self._verify = verify
         self._auth_token = auth_token
         self._insecure = insecure
+        if remote_cache is not None:
+            # Fail fast on a garbled address; reachability is checked
+            # lazily (an unreachable server degrades, never refuses).
+            DaemonClient.from_address(remote_cache)
+        self._remote_cache_default = remote_cache
+        # One RemoteCache per distinct address, created lazily by the
+        # worker thread (_run_job) and torn down by stop(); the lock
+        # covers the dict, not the tiers — each RemoteCache serialises
+        # its own traffic under its own cache lock.
+        self._remote_caches: dict[str, object] = {}
+        self._remote_caches_lock = threading.Lock()
         self._pending: _queue.Queue = _queue.Queue(maxsize=max_queued)
         self._jobs: dict[str, DaemonJob] = {}
         self._jobs_lock = threading.Lock()
@@ -534,6 +558,13 @@ class MatchingDaemon:
             except OSError:
                 pass
             connection.close()
+        # The worker thread is joined above, so the remote tiers are
+        # quiescent; dropping their connections is pure cleanup.
+        with self._remote_caches_lock:
+            remote_caches = dict(self._remote_caches)
+            self._remote_caches.clear()
+        for address in sorted(remote_caches):
+            remote_caches[address].close()
         self._stopped.set()
 
     # -- socket plumbing -------------------------------------------------------
@@ -730,6 +761,14 @@ class MatchingDaemon:
             problem = self._validate_records(records)
             if problem is not None:
                 return self._error(problem)
+        remote_cache = frame.get("remote_cache")
+        if remote_cache is not None:
+            if not isinstance(remote_cache, str):
+                return self._error("'remote_cache' must be an address string")
+            try:
+                DaemonClient.from_address(remote_cache)
+            except DaemonError as error:
+                return self._error(str(error))
         if manifest is not None:
             path = Path(manifest)
             if path.is_dir():
@@ -755,6 +794,7 @@ class MatchingDaemon:
                 resume=bool(frame.get("resume", False)),
                 shard=shard,
                 records=records,
+                remote_cache=remote_cache,
             )
             try:
                 self._pending.put_nowait(job)
@@ -992,11 +1032,50 @@ class MatchingDaemon:
             pairs, seed=job.seed, store_path=job.store, resume=job.resume
         )
 
+    def _remote_for(self, address: str):
+        """The shared :class:`~repro.cachenet.remote.RemoteCache` for an address.
+
+        Called from the worker thread.  A tier that degraded during an
+        earlier run is dropped and rebuilt, so the next submission gets
+        one fresh reconnect attempt instead of inheriting a dead
+        connection forever.  The connection presents this daemon's own
+        auth token — never one taken from the wire.
+        """
+        from repro.cachenet.remote import RemoteCache
+
+        with self._remote_caches_lock:
+            remote = self._remote_caches.get(address)
+            if remote is not None and remote.degraded:
+                remote.close()
+                del self._remote_caches[address]
+                remote = None
+            if remote is None:
+                remote = RemoteCache.from_address(
+                    address, auth_token=self._auth_token
+                )
+                remote.bind_metrics(self._metrics)
+                self._remote_caches[address] = remote
+            return remote
+
+    def _cache_for(self, job: DaemonJob) -> ResultCache | None:
+        """The effective cache for one run: local, remote-tiered, or None."""
+        address = job.remote_cache or self._remote_cache_default
+        if address is None:
+            return self._cache
+        remote = self._remote_for(address)
+        if self._cache is None:
+            return remote
+        # A per-run wrapper; member tiers keep their own metrics
+        # bindings, and the wrapper's throwaway stats stay unbound so
+        # nothing double-counts.  Local tier in front: remote hits are
+        # promoted locally, local misses written through to the pool.
+        return TieredCache(self._cache, remote)
+
     def _run_job(self, job: DaemonJob) -> None:
         service = MatchingService(
             self._config,
             executor=self._executor,
-            cache=self._cache,
+            cache=self._cache_for(job),
             verify=self._verify,
             metrics=self._metrics,
         )
@@ -1225,6 +1304,7 @@ class DaemonClient:
         store: str | Path | None = None,
         shard: tuple[int, int] | str | None = None,
         records: Sequence[dict] | None = None,
+        remote_cache: str | None = None,
     ) -> dict:
         """Submit a run (a manifest path or a pair list); returns the ack.
 
@@ -1232,6 +1312,8 @@ class DaemonClient:
         ``i/n`` partition; ``records`` pre-seed the run's store before
         it starts (with ``resume`` they are replayed without re-running
         — the fleet coordinator's shard-reassignment path).
+        ``remote_cache`` points this run's lookups at a shared
+        ``repro-cache/v1`` server (``docs/remote-cache.md``).
         """
         frame: dict = {"op": "submit", "seed": seed, "resume": resume}
         if manifest is not None:
@@ -1244,6 +1326,8 @@ class DaemonClient:
             frame["shard"] = shard if isinstance(shard, str) else list(shard)
         if records is not None:
             frame["records"] = list(records)
+        if remote_cache is not None:
+            frame["remote_cache"] = remote_cache
         return self.request(frame)
 
     def status(self, run_id: str | None = None) -> dict:

@@ -652,6 +652,25 @@ class MatchingService:
             if metrics is not None:
                 metrics.counter("repro_run_pairs_total").inc(outcome=outcome_label)
 
+        # A cache stack with a network tier exposes a `prefetch` hint:
+        # resolve every non-resumed key in one batched round trip up
+        # front, so the per-unit probes below are answered from the
+        # tier's buffer — one network exchange per run, not per pair.
+        # Purely local stacks have no `prefetch` and take the unchanged
+        # per-unit path (keys computed inside the pair span).
+        prefetched = False
+        prefetcher = getattr(self._cache, "prefetch", None)
+        if prefetcher is not None:
+            with tracer.span("cache_prefetch", total=len(units)):
+                for unit in units:
+                    if unit.pair_id is not None and unit.pair_id in done:
+                        continue
+                    unit.key = self._cache_key(unit)
+                prefetcher(
+                    [unit.key for unit in units if unit.key is not None]
+                )
+            prefetched = True
+
         for unit in units:
             if unit.pair_id is not None and unit.pair_id in done:
                 # Shallow copy so the store's record keeps its original
@@ -674,7 +693,8 @@ class MatchingService:
             )
             settle_started = time.perf_counter()
             with tracer.span("fingerprint", parent=pair_span):
-                unit.key = self._cache_key(unit)
+                if not prefetched:
+                    unit.key = self._cache_key(unit)
             if unit.key is not None:
                 with tracer.span("cache_probe", parent=pair_span):
                     cached = self._cache.get(unit.key)

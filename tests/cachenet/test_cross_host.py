@@ -1,0 +1,236 @@
+"""The headline cross-host scenario: two daemons, one cache server.
+
+Daemon A runs a corpus cold and publishes every result through its
+remote tier; daemon B — a different "host" with its own local cache —
+runs the same corpus and must answer **every pair from the shared pool,
+executing nothing**.  The cross-host hit rate is written to a JSON
+artifact (``cross-host-hit-rate.json``) the CI ``cachenet`` job uploads
+and gates on.
+
+The flip side is exercised too: a cache server killed mid-stream must
+degrade the tier to local-only (``repro_cachenet_errors`` counts the
+failure) and never fail the run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.cachenet import CacheServer
+from repro.circuits.library import hidden_weighted_bit
+from repro.circuits.transforms import apply_input_negation
+from repro.core.engine import MatchingConfig
+from repro.core.equivalence import EquivalenceType
+from repro.obs.metrics import MetricsRegistry
+from repro.service import (
+    DaemonClient,
+    LRUCache,
+    MatchingDaemon,
+    MatchingService,
+    build_cache,
+    generate_corpus,
+)
+
+TIMEOUT = 60.0
+SEED = 7
+CLASSES = (EquivalenceType.I_I, EquivalenceType.N_I)
+PAIRS = 8  # 2 classes x 4 pairs
+
+#: Where the headline test writes its hit-rate artifact; the CI job
+#: points this at the workspace so the JSON can be uploaded and gated.
+ARTIFACT_ENV = "CROSS_HOST_HIT_RATE_FILE"
+
+
+def make_corpus(path):
+    return generate_corpus(
+        path,
+        num_lines=3,
+        classes=CLASSES,
+        families=("random",),
+        pairs_per_class=PAIRS // len(CLASSES),
+        seed=SEED,
+    )
+
+
+def start_daemon(tmp_path, name: str, remote_cache: str) -> MatchingDaemon:
+    daemon = MatchingDaemon(
+        store_dir=tmp_path / f"daemon-{name}",
+        socket_path=tmp_path / f"{name}.sock",
+        remote_cache=remote_cache,
+    )
+    daemon.start()
+    return daemon
+
+
+def finished_run(client: DaemonClient, run_id: str) -> dict:
+    deadline = time.monotonic() + TIMEOUT
+    while time.monotonic() < deadline:
+        run = client.status(run_id)["run"]
+        if run["state"] in ("completed", "failed", "cancelled"):
+            assert run["state"] == "completed", run
+            return run
+        time.sleep(0.05)
+    raise AssertionError(f"run {run_id} never finished")
+
+
+def outcome_total(snapshot: dict, outcome: str) -> int:
+    metric = snapshot["metrics"].get("repro_run_pairs_total")
+    if metric is None:
+        return 0
+    return sum(
+        sample["value"]
+        for sample in metric["samples"]
+        if sample["labels"].get("outcome") == outcome
+    )
+
+
+class TestTwoDaemonsOneServer:
+    def test_warm_cross_host_rerun_spends_zero_oracle_queries(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        manifest = make_corpus(corpus)
+        assert len(manifest.entries) == PAIRS
+
+        server = CacheServer(LRUCache(), socket_path=tmp_path / "cache.sock")
+        server.start()
+        daemons = []
+        try:
+            daemon_a = start_daemon(tmp_path, "a", server.address)
+            daemon_b = start_daemon(tmp_path, "b", server.address)
+            daemons = [daemon_a, daemon_b]
+
+            # --- host A: the cold run fills the shared pool -----------
+            with DaemonClient.from_address(daemon_a.address, timeout=10.0) as a:
+                run_id = a.submit(manifest=str(corpus), seed=SEED)["run_id"]
+                cold = finished_run(a, run_id)["summary"]
+            assert cold["total"] == PAIRS
+            assert cold["executed"] == PAIRS and cold["cache_hits"] == 0
+            assert server.cache.stats.stores == PAIRS  # written through
+
+            # --- host B: the warm run executes nothing ----------------
+            with DaemonClient.from_address(daemon_b.address, timeout=10.0) as b:
+                run_id = b.submit(manifest=str(corpus), seed=SEED)["run_id"]
+                warm = finished_run(b, run_id)["summary"]
+                snapshot = b.metrics()["metrics"]
+            assert warm["total"] == PAIRS
+            assert warm["cache_hits"] == PAIRS
+            assert warm["executed"] == 0 and warm["resumed"] == 0
+
+            # Zero oracle queries, from B's own metrics: every pair
+            # settled as a cache hit, none reached the executor.
+            assert outcome_total(snapshot, "cached") == PAIRS
+            assert outcome_total(snapshot, "completed") == 0
+            assert outcome_total(snapshot, "failed") == 0
+            # ...and the pool was consulted over the wire, batched.
+            requests = snapshot["metrics"]["repro_cachenet_requests_total"]
+            get_many = sum(
+                sample["value"]
+                for sample in requests["samples"]
+                if sample["labels"].get("op") == "get_many"
+            )
+            assert get_many >= 1
+
+            # --- the shared pool's own books reconcile ----------------
+            # A's prefetch missed all 8, B's prefetch hit all 8, A's
+            # write-through stored all 8 — batching notwithstanding.
+            stats = server.cache.stats
+            assert stats.hits == PAIRS
+            assert stats.misses == PAIRS
+            assert stats.stores == PAIRS
+            assert len(server.cache) == PAIRS
+
+            hit_rate = warm["cache_hits"] / warm["total"]
+            assert hit_rate == 1.0
+            artifact = Path(
+                os.environ.get(
+                    ARTIFACT_ENV, tmp_path / "cross-host-hit-rate.json"
+                )
+            )
+            artifact.write_text(
+                json.dumps(
+                    {
+                        "pairs": PAIRS,
+                        "cold": {
+                            "executed": cold["executed"],
+                            "cache_hits": cold["cache_hits"],
+                        },
+                        "warm": {
+                            "executed": warm["executed"],
+                            "cache_hits": warm["cache_hits"],
+                        },
+                        "cross_host_hit_rate": hit_rate,
+                        "server": {
+                            **stats.as_dict(),
+                            "size": len(server.cache),
+                        },
+                    },
+                    indent=2,
+                )
+                + "\n",
+                encoding="utf-8",
+            )
+        finally:
+            for daemon in daemons:
+                try:
+                    daemon.stop()
+                except Exception:  # noqa: BLE001 - teardown best effort
+                    pass
+            server.stop()
+
+
+class TestServerKilledMidStream:
+    def pairs(self):
+        base = hidden_weighted_bit(3)
+        return [
+            (apply_input_negation(base, [bool(i & 1), bool(i & 2), False]), base)
+            for i in range(3)
+        ]
+
+    def test_run_completes_on_local_tiers_alone(self, tmp_path):
+        server = CacheServer(LRUCache(), socket_path=tmp_path / "cache.sock")
+        server.start()
+        cache = build_cache(memory_size=64, remote=server.address)
+        remote = cache.slow
+        metrics = MetricsRegistry()
+        cache.bind_metrics(metrics)
+        try:
+            # The tier is demonstrably live before the kill...
+            assert remote.get("probe") is None
+            assert remote.errors == 0
+            server.stop()
+
+            # ...and demonstrably dead during the run — which completes.
+            service = MatchingService(MatchingConfig(), cache=cache)
+            report = service.match_pairs(self.pairs(), equivalence="N-I", seed=SEED)
+            assert report.total == 3 and report.executed == 3
+            assert remote.degraded is True
+            assert remote.errors > 0
+            assert metrics.counter("repro_cachenet_errors").total() > 0
+            assert metrics.counter("repro_cachenet_reconnects_total").total() == 1
+
+            # The local tiers still serve: a rerun is warm, still with no
+            # server anywhere in sight.
+            warm = service.match_pairs(self.pairs(), equivalence="N-I", seed=SEED)
+            assert warm.cache_hits == 3 and warm.executed == 0
+        finally:
+            remote.close()
+            server.stop()
+
+    def test_daemon_pointed_at_a_dead_server_still_serves(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        make_corpus(corpus)
+        daemon = start_daemon(
+            tmp_path, "lone", f"unix:{tmp_path}/never-started.sock"
+        )
+        try:
+            with DaemonClient.from_address(daemon.address, timeout=10.0) as client:
+                run_id = client.submit(manifest=str(corpus), seed=SEED)["run_id"]
+                summary = finished_run(client, run_id)["summary"]
+                snapshot = client.metrics()["metrics"]
+            assert summary["executed"] == PAIRS
+            errors = snapshot["metrics"]["repro_cachenet_errors"]
+            assert sum(sample["value"] for sample in errors["samples"]) > 0
+        finally:
+            daemon.stop()

@@ -1,0 +1,118 @@
+"""docs/remote-cache.md is executable: its example session replays
+verbatim against a real cache server, so the documented ``repro-cache/v1``
+wire protocol cannot drift from the implementation.
+
+Matching is structural, per the convention stated in the document:
+documented keys must exist with the documented values, ``…`` is a
+wildcard (prefix wildcard at the end of a string), and the
+machine-specific keys (``pid``, ``uptime``) are present-but-not-compared.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import socket
+from pathlib import Path
+
+from repro.cachenet import CacheServer
+from repro.service import LRUCache
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "remote-cache.md"
+
+WILDCARD = "…"  # …
+
+#: Keys whose values are inherently machine- or timing-specific; the
+#: doc shows a representative value, the test only checks presence.
+VOLATILE = {"pid", "uptime"}
+
+#: The token the documented session authenticates with.
+AUTH_TOKEN = "open-sesame"
+
+
+def parse_session(text: str) -> list[tuple[str, str]]:
+    """Extract the ``C:``/``S:`` lines of every ```protocol fence."""
+    steps: list[tuple[str, str]] = []
+    for block in re.findall(r"```protocol\n(.*?)```", text, re.S):
+        for line in block.splitlines():
+            line = line.strip()
+            if line.startswith("C: "):
+                steps.append(("C", line[3:]))
+            elif line.startswith("S: "):
+                steps.append(("S", line[3:]))
+            elif line:
+                raise AssertionError(f"unparseable protocol line: {line!r}")
+    return steps
+
+
+def assert_matches(documented, actual, where="$") -> None:
+    if isinstance(documented, str):
+        if documented == WILDCARD:
+            return
+        if documented.endswith(WILDCARD):
+            prefix = documented[:-1]
+            assert isinstance(actual, str) and actual.startswith(prefix), (
+                f"{where}: {actual!r} does not start with {prefix!r}"
+            )
+            return
+        assert actual == documented, f"{where}: {actual!r} != {documented!r}"
+    elif isinstance(documented, dict):
+        assert isinstance(actual, dict), f"{where}: expected an object"
+        for key, value in documented.items():
+            assert key in actual, f"{where}.{key}: documented but absent"
+            if key in VOLATILE:
+                continue
+            assert_matches(value, actual[key], f"{where}.{key}")
+    elif isinstance(documented, list):
+        assert isinstance(actual, list) and len(actual) == len(documented), (
+            f"{where}: expected a {len(documented)}-element array"
+        )
+        for index, (doc_item, actual_item) in enumerate(zip(documented, actual)):
+            assert_matches(doc_item, actual_item, f"{where}[{index}]")
+    else:
+        assert actual == documented, f"{where}: {actual!r} != {documented!r}"
+
+
+class TestRemoteCacheDocument:
+    def test_every_op_is_documented(self):
+        text = DOC.read_text(encoding="utf-8")
+        for op in ("ping", "auth", "get", "put", "get_many", "stats",
+                   "shutdown"):
+            assert f"`{op}`" in text, f"op {op} missing from remote-cache.md"
+        assert "repro-cache/v1" in text
+
+    def test_documented_session_replays_against_a_live_server(self, tmp_path):
+        steps = parse_session(DOC.read_text(encoding="utf-8"))
+        assert steps, "remote-cache.md lost its validated session"
+
+        server = CacheServer(
+            LRUCache(),
+            socket_path=tmp_path / "cache.sock",
+            auth_token=AUTH_TOKEN,
+        )
+        server.start()
+        try:
+            connection = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            connection.settimeout(30.0)
+            connection.connect(str(tmp_path / "cache.sock"))
+            reader = connection.makefile("r", encoding="utf-8")
+            try:
+                for kind, payload in steps:
+                    if kind == "C":
+                        # The documented malformed frame is sent verbatim;
+                        # everything else is re-serialised JSON.
+                        try:
+                            wire = json.dumps(json.loads(payload))
+                        except json.JSONDecodeError:
+                            wire = payload
+                        connection.sendall((wire + "\n").encode("utf-8"))
+                    else:
+                        documented = json.loads(payload)
+                        line = reader.readline()
+                        assert line, f"server hung up before: {payload}"
+                        assert_matches(documented, json.loads(line))
+            finally:
+                connection.close()
+            server.serve_forever()  # returns once the documented shutdown lands
+        finally:
+            server.stop()

@@ -1,0 +1,13 @@
+"""Fixture cache server: dispatches `evict`, which the doc omits."""
+
+
+class CacheServer:
+    def _dispatch(self, frame):
+        op = frame.get("op")
+        if op == "ping":
+            return {"ok": True}
+        if op == "get":
+            return {"ok": True, "record": None}
+        if op == "evict":
+            return {"ok": True, "evicted": 1}
+        return {"ok": False, "error": f"unknown op {op!r}"}

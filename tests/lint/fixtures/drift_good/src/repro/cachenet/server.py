@@ -1,0 +1,11 @@
+"""Fixture cache server in agreement with its protocol doc."""
+
+
+class CacheServer:
+    def _dispatch(self, frame):
+        op = frame.get("op")
+        if op == "ping":
+            return {"ok": True}
+        if op == "get":
+            return {"ok": True, "record": None}
+        return {"ok": False, "error": f"unknown op {op!r}"}

@@ -31,6 +31,19 @@ class TestDriftBadTree:
         paths = {f.path for f in findings}
         assert paths == {"src/repro/service/daemon.py", "docs/protocol.md"}
 
+    def test_cache_protocol_ops_both_directions(self):
+        findings = _drift_findings(
+            FIXTURES / "drift_bad", "drift-cache-protocol-ops"
+        )
+        messages = "\n".join(f.message for f in findings)
+        assert len(findings) == 2
+        assert "'evict'" in messages and "does not document" in messages
+        assert "'purge'" in messages and "does not handle" in messages
+        paths = {f.path for f in findings}
+        assert paths == {
+            "src/repro/cachenet/server.py", "docs/remote-cache.md"
+        }
+
     def test_event_fields_all_three_shapes(self):
         findings = _drift_findings(FIXTURES / "drift_bad", "drift-event-fields")
         messages = "\n".join(f.message for f in findings)
@@ -114,6 +127,36 @@ class TestDeliberateDesyncAgainstRealCode:
         # The doc-side phantom is suppressed; the code-side gap remains.
         assert "'reboot'" not in messages
         assert "'stats'" in messages
+
+    def _stage_cachenet(self, tmp_path):
+        cachenet = tmp_path / "src" / "repro" / "cachenet"
+        cachenet.mkdir(parents=True)
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        shutil.copy(
+            REPO_ROOT / "src" / "repro" / "cachenet" / "server.py",
+            cachenet / "server.py",
+        )
+        return docs / "remote-cache.md"
+
+    def test_real_cache_server_against_doctored_doc(self, tmp_path):
+        doc = self._stage_cachenet(tmp_path)
+        original = (REPO_ROOT / "docs" / "remote-cache.md").read_text(
+            encoding="utf-8"
+        )
+        # Drop `stats` from the table and document a phantom `reboot`.
+        doctored = original.replace("| `stats` |", "| `reboot` |", 1)
+        assert doctored != original
+        doc.write_text(doctored, encoding="utf-8")
+        findings = _drift_findings(tmp_path, "drift-cache-protocol-ops")
+        messages = "\n".join(f.message for f in findings)
+        assert "'stats'" in messages and "does not document" in messages
+        assert "'reboot'" in messages and "does not handle" in messages
+
+    def test_real_cache_server_against_the_real_doc_is_clean(self, tmp_path):
+        doc = self._stage_cachenet(tmp_path)
+        shutil.copy(REPO_ROOT / "docs" / "remote-cache.md", doc)
+        assert _drift_findings(tmp_path, "drift-cache-protocol-ops") == []
 
     def test_rules_skip_when_their_module_is_absent(self, tmp_path):
         (tmp_path / "src" / "repro").mkdir(parents=True)

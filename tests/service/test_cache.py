@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import threading
+import warnings
 
 import pytest
 
@@ -75,6 +77,46 @@ class TestDiskCache:
         path.write_text(json.dumps(envelope), encoding="utf-8")
         assert cache.get("key") is None
 
+    def test_torn_entry_warns_misses_and_is_repaired_by_writeback(
+        self, tmp_path
+    ):
+        cache = DiskCache(tmp_path)
+        cache.put("key", _record("a"))
+        path = next(tmp_path.glob("*.json"))
+        # A reader on NFS-style shared storage can see a half-synced
+        # file even though our own writers publish atomically.
+        path.write_text('{"key": "key", "rec', encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="torn shared-disk write"):
+            assert cache.get("key") is None
+        cache.put("key", _record("a"))  # the recomputation's write-back
+        assert cache.get("key") == _record("a")
+
+    def test_invalid_utf8_warns_and_misses(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("key", _record("a"))
+        path = next(tmp_path.glob("*.json"))
+        path.write_bytes(b"\xff\xfe not a utf-8 json file")
+        with pytest.warns(RuntimeWarning, match="undecodable cache entry"):
+            assert cache.get("key") is None
+
+    def test_non_object_envelope_warns_and_misses(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("key", _record("a"))
+        path = next(tmp_path.glob("*.json"))
+        path.write_text('["not", "an", "envelope"]', encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="not an envelope object"):
+            assert cache.get("key") is None
+
+    def test_unreadable_file_is_a_silent_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("key", _record("a"))
+        path = next(tmp_path.glob("*.json"))
+        path.unlink()
+        path.mkdir()  # open() now refuses with an OSError, not a parse error
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.get("key") is None
+
 
 class TestTieredCache:
     def test_put_writes_both_and_slow_hit_promotes(self, tmp_path):
@@ -93,6 +135,34 @@ class TestTieredCache:
         tiered = build_cache(disk_dir=tmp_path)
         assert isinstance(tiered, TieredCache)
         assert isinstance(tiered.slow, DiskCache)
+
+    def test_concurrent_lookups_promote_exactly_once(self, tmp_path):
+        """Two threads race a cold fast tier onto the same slow-tier hit:
+        the wrapper's lock serialises them, so the entry is promoted into
+        L1 exactly once and the books still balance."""
+        slow = DiskCache(tmp_path)
+        slow.put("key", _record("a"))
+        fast = LRUCache(maxsize=8)
+        tiered = TieredCache(fast, slow)
+
+        barrier = threading.Barrier(2)
+        results: list[dict | None] = []
+
+        def lookup() -> None:
+            barrier.wait()
+            results.append(tiered.get("key"))
+
+        threads = [threading.Thread(target=lookup) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert results == [_record("a"), _record("a")]
+        assert fast.stats.stores == 1  # exactly one L1 promotion
+        assert len(fast) == 1
+        stats = tiered.stats
+        assert stats.hits == 2 and stats.misses == 0
+        assert stats.hits + stats.misses == stats.lookups == 2
 
 
 class TestEngineCacheAdapter:

@@ -642,3 +642,129 @@ class TestDaemonCommands:
         )
         assert code == 2
         assert "--resume requires --store" in capsys.readouterr().err
+
+
+class TestCacheServerCommand:
+    def test_serves_until_the_documented_shutdown(self, tmp_path, capsys):
+        import threading
+        import time
+
+        from repro.service import DaemonClient
+
+        sock = tmp_path / "cache.sock"
+        addr_file = tmp_path / "cache.addr"
+        codes: list[int] = []
+        server = threading.Thread(
+            target=lambda: codes.append(
+                main(
+                    ["cache-server", "--socket", str(sock),
+                     "--address-file", str(addr_file)]
+                )
+            ),
+            daemon=True,
+        )
+        server.start()
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline and not addr_file.exists():
+            time.sleep(0.02)
+        address = addr_file.read_text().strip()
+        assert address == f"unix:{sock}"
+        with DaemonClient.from_address(address, timeout=10.0) as client:
+            ping = client.request({"op": "ping"})
+            assert ping["protocol"] == "repro-cache/v1"
+            client.request({"op": "put", "key": "k", "record": {"v": 1}})
+            assert client.request({"op": "get", "key": "k"})["record"] == {"v": 1}
+            client.request({"op": "shutdown"})
+        server.join(timeout=30.0)
+        assert not server.is_alive() and codes == [0]
+        output = capsys.readouterr().out
+        assert f"cache server listening on unix:{sock}" in output
+        assert "cache server stopped" in output
+
+    def test_rejects_nonpositive_cache_size(self, tmp_path, capsys):
+        code = main(
+            ["cache-server", "--socket", str(tmp_path / "c.sock"),
+             "--cache-size", "0"]
+        )
+        assert code == 2
+        assert "--cache-size must be positive" in capsys.readouterr().err
+
+
+class TestRemoteCacheFlags:
+    def test_run_refuses_no_cache_with_remote_cache(self, tmp_path, capsys):
+        code = main(
+            ["run", str(tmp_path), "--no-cache", "--remote-cache",
+             "unix:cache.sock"]
+        )
+        assert code == 2
+        assert "drop --no-cache" in capsys.readouterr().err
+
+    def test_cache_migrate_refuses_a_remote_server(self, tmp_path, capsys):
+        code = main(
+            ["cache", "migrate", "--cache-dir", str(tmp_path), "--remote",
+             "unix:cache.sock"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot run against a remote cache server" in err
+        assert "Stop the server" in err
+
+    def test_remote_cache_flag_is_registered_everywhere(self, tmp_path):
+        parser = build_parser()
+        args = parser.parse_args(["run", "m", "--remote-cache", "unix:c.sock"])
+        assert args.remote_cache == "unix:c.sock"
+        args = parser.parse_args(
+            ["serve", "--socket", "d.sock", "--store-dir", str(tmp_path),
+             "--remote-cache", "tcp:cachehost:7777"]
+        )
+        assert args.remote_cache == "tcp:cachehost:7777"
+        args = parser.parse_args(
+            ["fleet", "run", "m", "--remote-cache", "unix:c.sock"]
+        )
+        assert args.remote_cache == "unix:c.sock"
+
+    def test_warm_rerun_through_a_cache_server_executes_nothing(
+        self, tmp_path, capsys
+    ):
+        """The CLI leg of the cross-host guarantee: two `repro run`
+        invocations with no shared local state — only --remote-cache —
+        and the second executes zero pairs."""
+        from repro.cachenet import CacheServer
+        from repro.service import LRUCache
+
+        corpus = tmp_path / "corpus"
+        main(
+            ["corpus", str(corpus), "--classes", "I-N", "--families",
+             "random", "--seed", "1"]
+        )
+        server = CacheServer(LRUCache(), socket_path=tmp_path / "cache.sock")
+        server.start()
+        try:
+            assert main(
+                ["run", str(corpus), "--remote-cache", server.address]
+            ) == 0
+            cold = capsys.readouterr().out
+            assert "1 executed" in cold
+            assert server.cache.stats.stores == 1  # written through
+            assert main(
+                ["run", str(corpus), "--remote-cache", server.address]
+            ) == 0
+            warm = capsys.readouterr().out
+            assert "1 cached, 0 resumed, 0 executed" in warm
+            assert "0 classical + 0 quantum queries spent" in warm
+        finally:
+            server.stop()
+
+    def test_run_with_a_dead_server_still_succeeds(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        main(
+            ["corpus", str(corpus), "--classes", "I-N", "--families",
+             "random", "--seed", "1"]
+        )
+        capsys.readouterr()
+        code = main(
+            ["run", str(corpus), "--remote-cache",
+             f"unix:{tmp_path}/never-started.sock"]
+        )
+        assert code == 0
+        assert "1 executed" in capsys.readouterr().out
